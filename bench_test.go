@@ -1,0 +1,327 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6), plus ablation benchmarks for the design choices called out in
+// DESIGN.md. Each benchmark runs the corresponding experiment at a reduced
+// but shape-preserving scale and reports the headline reproduction numbers
+// as custom metrics (percent improvements, correlation), so
+// `go test -bench=. -benchmem` doubles as the reproduction record.
+package commsched
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchOpts keeps benchmark iterations fast while preserving the paper's
+// qualitative shape. Full scale (1000 jobs, all machines) is available via
+// cmd/experiments.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Jobs:           200,
+		IndividualJobs: 50,
+		Seed:           1,
+		CommFraction:   0.9,
+		CommShare:      0.7,
+		Machines:       []workload.Preset{workload.Theta},
+	}
+}
+
+// BenchmarkFigure1Contention regenerates Figure 1: two collectives sharing
+// switches on the departmental cluster. Reported metrics: mean slowdown of
+// J1 while J2 is active and the exec-time/contention correlation (paper:
+// 0.83).
+func BenchmarkFigure1Contention(b *testing.B) {
+	var last *experiments.Figure1Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(experiments.Figure1Options{Duration: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.DuringMean/last.BaselineMean, "slowdown_x")
+	b.ReportMetric(last.Correlation, "correlation_r")
+}
+
+// BenchmarkTable3Continuous regenerates Table 3 (continuous runs, 90% comm
+// jobs). Reported metrics: % exec and wait improvement of adaptive over
+// default (RHVD row).
+func BenchmarkTable3Continuous(b *testing.B) {
+	var last *experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	row := last.Rows[0] // first machine, RHVD
+	def, adap := row.Cells[core.Default], row.Cells[core.Adaptive]
+	b.ReportMetric(metrics.ImprovementPct(def.ExecHours, adap.ExecHours), "exec_improv_%")
+	b.ReportMetric(metrics.ImprovementPct(def.WaitHours, adap.WaitHours), "wait_improv_%")
+}
+
+// BenchmarkFigure6Mixes regenerates Figure 6 (compute/communication mixes
+// A–E). Reported metric: adaptive exec reduction for the most
+// communication-heavy RHVD set (C).
+func BenchmarkFigure6Mixes(b *testing.B) {
+	var last *experiments.Figure6Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, p := range last.Points {
+		if p.Set == "C" {
+			b.ReportMetric(p.ReductionPct[core.Adaptive], "setC_adaptive_%")
+		}
+		if p.Set == "A" {
+			b.ReportMetric(p.ReductionPct[core.Adaptive], "setA_adaptive_%")
+		}
+	}
+}
+
+// BenchmarkTable4Individual regenerates Table 4 (individual runs from an
+// identical cluster state). Reported metrics: average % improvement for
+// greedy and adaptive (RHVD row).
+func BenchmarkTable4Individual(b *testing.B) {
+	var last *experiments.Table4Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	row := last.Rows[0]
+	b.ReportMetric(row.AvgImprovementPct[core.Greedy], "greedy_%")
+	b.ReportMetric(row.AvgImprovementPct[core.Adaptive], "adaptive_%")
+}
+
+// BenchmarkFigure7ContinuousVsIndividual regenerates Figure 7. Reported
+// metrics: maximum per-job exec reduction in each methodology (paper: 70%
+// continuous, 15% individual for Theta/RD).
+func BenchmarkFigure7ContinuousVsIndividual(b *testing.B) {
+	var cont, ind float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cont, ind = res.MaxReductionPct()
+	}
+	b.ReportMetric(cont, "max_continuous_%")
+	b.ReportMetric(ind, "max_individual_%")
+}
+
+// BenchmarkFigure8CommCost regenerates Figure 8 (communication cost by
+// node range, binomial). Reported metrics: average cost reduction of
+// greedy and balanced vs default (paper: ~3.4% and ~11%).
+func BenchmarkFigure8CommCost(b *testing.B) {
+	var last *experiments.Figure8Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8(benchOpts(), collective.Binomial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	s := last.Series[0]
+	b.ReportMetric(s.AvgReductionPct[core.Greedy], "greedy_cost_%")
+	b.ReportMetric(s.AvgReductionPct[core.Balanced], "balanced_cost_%")
+}
+
+// BenchmarkFigure9TurnaroundNodeHours regenerates Figure 9 (turnaround and
+// node-hours vs % of communication-intensive jobs). Reported metrics:
+// adaptive turnaround improvement at 30% and 90% comm jobs (the paper's
+// gain grows with the communication share).
+func BenchmarkFigure9TurnaroundNodeHours(b *testing.B) {
+	var last *experiments.Figure9Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, p := range last.Points {
+		def := p.AvgTurnaroundHours[core.Default]
+		imp := metrics.ImprovementPct(def, p.AvgTurnaroundHours[core.Adaptive])
+		switch p.CommPct {
+		case 30:
+			b.ReportMetric(imp, "tat30_%")
+		case 90:
+			b.ReportMetric(imp, "tat90_%")
+		}
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+func benchTaggedTrace(pattern collective.Pattern) workload.Trace {
+	return workload.Theta.Synthesize(200, 1).
+		MustTag(0.9, collective.SinglePattern(pattern, 0.7), 18)
+}
+
+// BenchmarkAblationBalancedNoPow2 compares balanced with and without the
+// power-of-two constraint (the constraint is the paper's §4.2 core idea).
+// Reported metric: extra exec % saved by the constraint.
+func BenchmarkAblationBalancedNoPow2(b *testing.B) {
+	topo := workload.Theta.NewTopology()
+	trace := benchTaggedTrace(collective.RHVD)
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: core.Balanced}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: core.BalancedNoPow2}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		with, without = r1.Summary.TotalExecHours, r2.Summary.TotalExecHours
+	}
+	b.ReportMetric(metrics.ImprovementPct(without, with), "pow2_gain_%")
+}
+
+// BenchmarkAblationDistanceOnlyCost compares the full effective-hops cost
+// (Eq. 5) against a contention-blind distance-only model. Reported metric:
+// exec hours difference in percent (how much the contention factor
+// contributes to the runtime model).
+func BenchmarkAblationDistanceOnlyCost(b *testing.B) {
+	topo := workload.Theta.NewTopology()
+	trace := benchTaggedTrace(collective.RHVD)
+	var full, distOnly float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: core.Adaptive}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunContinuous(sim.Config{
+			Topology: topo, Algorithm: core.Adaptive, CostMode: costmodel.ModeDistanceOnly,
+		}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, distOnly = r1.Summary.TotalExecHours, r2.Summary.TotalExecHours
+	}
+	b.ReportMetric(full, "exec_h_full")
+	b.ReportMetric(distOnly, "exec_h_distonly")
+}
+
+// BenchmarkAblationNoBackfill quantifies EASY backfilling's wait-time
+// contribution under the adaptive algorithm.
+func BenchmarkAblationNoBackfill(b *testing.B) {
+	topo := workload.Theta.NewTopology()
+	trace := benchTaggedTrace(collective.RD)
+	var withBF, withoutBF float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: core.Adaptive}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunContinuous(sim.Config{
+			Topology: topo, Algorithm: core.Adaptive, DisableBackfill: true,
+		}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withBF, withoutBF = r1.Summary.TotalWaitHours, r2.Summary.TotalWaitHours
+	}
+	b.ReportMetric(withBF, "wait_h_easy")
+	b.ReportMetric(withoutBF, "wait_h_fifo")
+}
+
+// BenchmarkAblationRingPattern exercises the §7 future-work ring pattern
+// end to end: exec improvement of adaptive over default when the dominant
+// collective is a ring.
+func BenchmarkAblationRingPattern(b *testing.B) {
+	topo := workload.Theta.NewTopology()
+	trace := benchTaggedTrace(collective.Ring)
+	var def, adap float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: core.Default}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: core.Adaptive}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		def, adap = r1.Summary.TotalExecHours, r2.Summary.TotalExecHours
+	}
+	b.ReportMetric(metrics.ImprovementPct(def, adap), "ring_improv_%")
+}
+
+// BenchmarkAblationRankRemap quantifies the §7 process-mapping extension:
+// exec hours with and without post-allocation rank remapping under the
+// default allocator (remapping rescues poor placements).
+func BenchmarkAblationRankRemap(b *testing.B) {
+	topo := workload.Theta.NewTopology()
+	trace := benchTaggedTrace(collective.RD)
+	var plain, remapped float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: core.Default}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunContinuous(sim.Config{
+			Topology: topo, Algorithm: core.Default, RankRemap: true,
+		}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, remapped = r1.Summary.TotalExecHours, r2.Summary.TotalExecHours
+	}
+	b.ReportMetric(metrics.ImprovementPct(plain, remapped), "remap_gain_%")
+}
+
+// BenchmarkAblationQueuePolicy compares FIFO (the paper's setup) against
+// SJF ordering under the adaptive allocator. Reported metrics: average
+// wait hours per policy.
+func BenchmarkAblationQueuePolicy(b *testing.B) {
+	topo := workload.Theta.NewTopology()
+	// A longer trace than the other ablations: queues must actually form
+	// for the policy to matter.
+	trace := workload.Theta.Synthesize(700, 1).
+		MustTag(0.9, collective.SinglePattern(collective.RHVD, 0.7), 18)
+	var fifo, sjf float64
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: core.Adaptive}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.RunContinuous(sim.Config{
+			Topology: topo, Algorithm: core.Adaptive, Policy: sim.SJF,
+		}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fifo, sjf = r1.Summary.AvgWaitHours, r2.Summary.AvgWaitHours
+	}
+	b.ReportMetric(fifo, "wait_h_fifo")
+	b.ReportMetric(sjf, "wait_h_sjf")
+}
+
+// BenchmarkEndToEndAdaptiveMira measures raw simulator throughput on the
+// largest machine (49,152 nodes) — the engineering headroom behind the
+// "negligible overhead" claim of §5.2.
+func BenchmarkEndToEndAdaptiveMira(b *testing.B) {
+	topo := workload.Mira.NewTopology()
+	trace := workload.Mira.Synthesize(200, 1).
+		MustTag(0.9, collective.SinglePattern(collective.RHVD, 0.7), 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: core.Adaptive}, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Command cawsctl is the control client for cawschedd, mirroring SLURM's
+// user commands:
+//
+//	cawsctl submit -nodes 64 -runtime 3600 -class comm -pattern RHVD   (sbatch)
+//	cawsctl queue                                                      (squeue)
+//	cawsctl running
+//	cawsctl status -id 7
+//	cawsctl info                                                       (sinfo)
+//	cawsctl stats
+//	cawsctl cancel -id 7                                               (scancel)
+//	cawsctl drain -node n17
+//	cawsctl resume -node n17
+//	cawsctl replay -log trace.swf -speedup 1000 -comm 0.9 -pattern RHVD
+//	cawsctl shutdown
+//
+// The daemon address defaults to 127.0.0.1:6817 and can be set with -addr
+// (before the subcommand).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/collective"
+	"repro/internal/daemon"
+	"repro/internal/swf"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6817", "daemon address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "cawsctl: missing subcommand (submit, status, queue, running, info, stats, cancel, shutdown)")
+		os.Exit(2)
+	}
+	if err := run(*addr, args[0], args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cawsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, sub string, rest []string) error {
+	client, err := daemon.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch sub {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		nodes := fs.Int("nodes", 1, "nodes requested")
+		runtime := fs.Float64("runtime", 60, "runtime in virtual seconds")
+		class := fs.String("class", "compute", "comm or compute")
+		pattern := fs.String("pattern", "RD", "collective pattern for comm jobs")
+		share := fs.Float64("commshare", 0.7, "communication share of runtime")
+		name := fs.String("name", "", "job name")
+		after := fs.Int64("after", 0, "job ID this submission depends on (afterany)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		id, err := client.Submit(daemon.Request{
+			Nodes: *nodes, Runtime: *runtime, Class: *class,
+			Pattern: *pattern, CommShare: *share, Name: *name, After: *after,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(id)
+		return nil
+
+	case "status":
+		fs := flag.NewFlagSet("status", flag.ExitOnError)
+		id := fs.Int64("id", 0, "job id")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		ji, err := client.Status(*id)
+		if err != nil {
+			return err
+		}
+		printJobs([]daemon.JobInfo{*ji})
+		return nil
+
+	case "queue", "running":
+		var jobs []daemon.JobInfo
+		var err error
+		if sub == "queue" {
+			jobs, err = client.Queue()
+		} else {
+			jobs, err = client.Running()
+		}
+		if err != nil {
+			return err
+		}
+		printJobs(jobs)
+		return nil
+
+	case "info":
+		resp, err := client.Info()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("algorithm %s, %d/%d nodes free (%d down), virtual time %.1fs\n",
+			resp.Algorithm, resp.FreeNodes, resp.MachineNodes, resp.DownNodes, resp.VirtualNow)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "switch\tnodes\tbusy\tcomm\tratio")
+		for _, l := range resp.Leafs {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.3f\n", l.Switch, l.Nodes, l.Busy, l.Comm, l.Ratio)
+		}
+		return w.Flush()
+
+	case "stats":
+		resp, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("completed %d jobs: %.2f exec hours, %.2f wait hours, avg comm cost %.2f\n",
+			resp.Completed, resp.TotalExecHours, resp.TotalWaitHours, resp.AvgCommCost)
+		return nil
+
+	case "cancel":
+		fs := flag.NewFlagSet("cancel", flag.ExitOnError)
+		id := fs.Int64("id", 0, "job id")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		return client.Cancel(*id)
+
+	case "drain", "resume":
+		fs := flag.NewFlagSet(sub, flag.ExitOnError)
+		node := fs.String("node", "", "node name")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if sub == "drain" {
+			return client.Drain(*node)
+		}
+		return client.Resume(*node)
+
+	case "replay":
+		fs := flag.NewFlagSet("replay", flag.ExitOnError)
+		logPath := fs.String("log", "", "SWF job log to stream")
+		speedup := fs.Float64("speedup", 1000, "trace seconds per wall second (must match the daemon's -timescale for faithful replay)")
+		jobs := fs.Int("jobs", 0, "max jobs to submit (0 = all)")
+		comm := fs.Float64("comm", 0.9, "fraction tagged communication-intensive")
+		pattern := fs.String("pattern", "RHVD", "collective pattern for comm jobs")
+		share := fs.Float64("commshare", 0.7, "communication share of runtime")
+		seed := fs.Int64("seed", 1, "tagging seed")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		return replay(client, *logPath, *speedup, *jobs, *comm, *pattern, *share, *seed)
+
+	case "shutdown":
+		return client.Shutdown()
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}
+
+// replay streams an SWF trace into the daemon, sleeping between
+// submissions so inter-arrival gaps shrink by the speedup factor — the
+// online equivalent of the simulator's continuous runs.
+func replay(client *daemon.Client, logPath string, speedup float64, maxJobs int,
+	commFrac float64, patternName string, share float64, seed int64) error {
+	if logPath == "" {
+		return fmt.Errorf("replay: -log required")
+	}
+	if speedup <= 0 {
+		return fmt.Errorf("replay: speedup must be positive")
+	}
+	swfLog, err := swf.Load(logPath)
+	if err != nil {
+		return err
+	}
+	info, err := client.Info()
+	if err != nil {
+		return err
+	}
+	pattern, err := collective.ParsePattern(patternName)
+	if err != nil {
+		return err
+	}
+	trace := workload.FromSWF(swfLog, logPath, info.MachineNodes, maxJobs)
+	if len(trace.Jobs) == 0 {
+		return fmt.Errorf("replay: no usable jobs in %s", logPath)
+	}
+	trace, err = trace.Tag(commFrac, collective.SinglePattern(pattern, share), seed)
+	if err != nil {
+		return err
+	}
+	prev := 0.0
+	for i, j := range trace.Jobs {
+		if gap := j.Submit - prev; gap > 0 {
+			time.Sleep(time.Duration(gap / speedup * float64(time.Second)))
+		}
+		prev = j.Submit
+		req := daemon.Request{
+			Nodes:   j.Nodes,
+			Runtime: j.Runtime,
+			Name:    fmt.Sprintf("%s#%d", logPath, j.ID),
+		}
+		if j.Class == daemon.ClassComm {
+			req.Class = "comm"
+			req.Pattern = pattern.String()
+			req.CommShare = share
+		} else {
+			req.Class = "compute"
+		}
+		id, err := client.Submit(req)
+		if err != nil {
+			return fmt.Errorf("replay: job %d/%d: %w", i+1, len(trace.Jobs), err)
+		}
+		fmt.Printf("submitted %d as daemon job %d (%d nodes, %.0fs)\n",
+			j.ID, id, j.Nodes, j.Runtime)
+	}
+	return nil
+}
+
+func printJobs(jobs []daemon.JobInfo) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "id\tname\tnodes\tclass\tpattern\tstate\texec\tratio\tnodelist")
+	for _, j := range jobs {
+		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%s\t%s\t%.0f\t%.3f\t%s\n",
+			j.ID, j.Name, j.Nodes, j.Class, j.Pattern, j.State, j.Exec, j.CostRatio, j.NodeList)
+	}
+	w.Flush()
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/topology"
+)
+
+// startTestDaemon serves an in-process daemon and returns its address.
+func startTestDaemon(t *testing.T) string {
+	t.Helper()
+	d, err := daemon.New(daemon.Config{
+		Topology:  topology.PaperExample(),
+		Algorithm: core.Adaptive,
+		TimeScale: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := daemon.NewServer(d)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(srv.Close)
+	return srv.Addr().String()
+}
+
+func TestSubcommands(t *testing.T) {
+	addr := startTestDaemon(t)
+	steps := []struct {
+		sub  string
+		args []string
+	}{
+		{"submit", []string{"-nodes", "4", "-runtime", "600", "-class", "comm", "-pattern", "RHVD", "-name", "j1"}},
+		{"submit", []string{"-nodes", "8", "-runtime", "600", "-class", "compute", "-after", "1"}},
+		{"status", []string{"-id", "1"}},
+		{"queue", nil},
+		{"running", nil},
+		{"info", nil},
+		{"stats", nil},
+		{"drain", []string{"-node", "n7"}},
+		{"resume", []string{"-node", "n7"}},
+		{"cancel", []string{"-id", "2"}},
+	}
+	for _, s := range steps {
+		if err := run(addr, s.sub, s.args); err != nil {
+			t.Fatalf("%s %v: %v", s.sub, s.args, err)
+		}
+	}
+	if err := run(addr, "frob", nil); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(addr, "cancel", []string{"-id", "999"}); err == nil {
+		t.Error("cancel of unknown job accepted")
+	}
+	if err := run(addr, "shutdown", nil); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := run("127.0.0.1:1", "info", nil); err == nil {
+		t.Error("dead daemon accepted")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	addr := startTestDaemon(t)
+	client, err := daemon.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "trace.swf")
+	swfContent := "1 0 -1 60 2 -1 -1 2 120 -1 1 -1 -1 -1 -1 -1 -1 -1\n" +
+		"2 1 -1 30 4 -1 -1 4 60 -1 1 -1 -1 -1 -1 -1 -1 -1\n" +
+		"3 2 -1 30 1 -1 -1 1 60 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	if err := os.WriteFile(logPath, []byte(swfContent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Speedup 1000: the 2-second trace span streams in ~2 ms.
+	if err := replay(client, logPath, 1000, 0, 0.5, "RD", 0.7, 1); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	running, err := client.Running()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := client.Queue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Completed + len(running) + len(queued); got != 3 {
+		t.Fatalf("accounted for %d jobs, want 3", got)
+	}
+	// Errors.
+	if err := replay(client, "", 1000, 0, 0.5, "RD", 0.7, 1); err == nil {
+		t.Error("missing log accepted")
+	}
+	if err := replay(client, logPath, 0, 0, 0.5, "RD", 0.7, 1); err == nil {
+		t.Error("zero speedup accepted")
+	}
+	if err := replay(client, logPath, 1000, 0, 0.5, "frob", 0.7, 1); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Command cawsweep runs full parameter grids over the scheduler simulator
+// and emits CSV for plotting — a generalisation of the paper's individual
+// experiments for sensitivity studies.
+//
+// Usage:
+//
+//	cawsweep -machines Theta -patterns rd,rhvd -comm 0.3,0.6,0.9 \
+//	         -commshare 0.3,0.5,0.7 -jobs 500 -o sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		machines  = flag.String("machines", "Theta", "comma-separated machine presets")
+		patterns  = flag.String("patterns", "rhvd", "comma-separated patterns (rd,rhvd,binomial,ring,stencil)")
+		comm      = flag.String("comm", "0.9", "comma-separated comm-intensive job fractions")
+		commShare = flag.String("commshare", "0.7", "comma-separated per-job communication shares")
+		algs      = flag.String("algs", "default,greedy,balanced,adaptive", "comma-separated algorithms")
+		jobs      = flag.Int("jobs", 500, "jobs per trace")
+		seed      = flag.Int64("seed", 1, "random seed")
+		costMode  = flag.String("costmode", "effective-hops", "cost function")
+		policy    = flag.String("policy", "fifo", "queue policy: fifo, sjf, widest")
+		out       = flag.String("o", "", "output CSV file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*machines, *patterns, *comm, *commShare, *algs, *jobs, *seed,
+		*costMode, *policy, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "cawsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machines, patterns, comm, commShare, algs string, jobs int, seed int64,
+	costMode, policy, out string) error {
+	g := sweep.Grid{Jobs: jobs, Seed: seed}
+	for _, name := range strings.Split(machines, ",") {
+		p, err := workload.PresetByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		g.Machines = append(g.Machines, p)
+	}
+	for _, name := range strings.Split(patterns, ",") {
+		p, err := collective.ParsePattern(name)
+		if err != nil {
+			return err
+		}
+		g.Patterns = append(g.Patterns, p)
+	}
+	var err error
+	if g.CommFractions, err = parseFloats(comm); err != nil {
+		return err
+	}
+	if g.CommShares, err = parseFloats(commShare); err != nil {
+		return err
+	}
+	for _, name := range strings.Split(algs, ",") {
+		a, err := core.ParseAlgorithm(name)
+		if err != nil {
+			return err
+		}
+		g.Algorithms = append(g.Algorithms, a)
+	}
+	if g.CostMode, err = costmodel.ParseMode(costMode); err != nil {
+		return err
+	}
+	if g.Policy, err = sim.ParsePolicy(policy); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "cawsweep: %d runs\n", g.Size())
+	points, err := sweep.Run(g)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return sweep.WriteCSV(w, points)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

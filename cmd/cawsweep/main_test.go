@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSweep(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.csv")
+	err := run("Theta", "rd", "0.3,0.9", "0.7", "default,adaptive", 40, 1,
+		"effective-hops", "fifo", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 { // header + 2 fractions × 2 algorithms
+		t.Fatalf("%d CSV lines, want 5", len(lines))
+	}
+}
+
+func TestRunSweepErrors(t *testing.T) {
+	cases := []error{
+		run("Nope", "rd", "0.9", "0.7", "default", 10, 1, "effective-hops", "fifo", ""),
+		run("Theta", "frob", "0.9", "0.7", "default", 10, 1, "effective-hops", "fifo", ""),
+		run("Theta", "rd", "zzz", "0.7", "default", 10, 1, "effective-hops", "fifo", ""),
+		run("Theta", "rd", "0.9", "0.7", "frob", 10, 1, "effective-hops", "fifo", ""),
+		run("Theta", "rd", "0.9", "0.7", "default", 10, 1, "frob", "fifo", ""),
+		run("Theta", "rd", "0.9", "0.7", "default", 10, 1, "effective-hops", "frob", ""),
+	}
+	for i, err := range cases {
+		if err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command loggen synthesizes job traces matching the paper's evaluation
+// machines and writes them in Standard Workload Format, so they can be fed
+// back to cawsched -log or to any other SWF consumer.
+//
+// Usage:
+//
+//	loggen -machine Mira -jobs 1000 -seed 7 > mira.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "Theta", "machine preset: Intrepid, Theta or Mira")
+		jobs    = flag.Int("jobs", 1000, "number of jobs")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		stats   = flag.Bool("stats", false, "print trace statistics to stderr")
+	)
+	flag.Parse()
+	if err := run(*machine, *jobs, *seed, *out, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "loggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(machine string, jobs int, seed int64, out string, stats bool) error {
+	preset, err := workload.PresetByName(machine)
+	if err != nil {
+		return err
+	}
+	trace := preset.Synthesize(jobs, seed)
+	if stats {
+		s := trace.ComputeStats()
+		fmt.Fprintf(os.Stderr, "%s: %d jobs, %d..%d nodes, %.1f%% power-of-two, span %.1fh, %.0f node-hours\n",
+			trace.Name, s.Jobs, s.MinNodes, s.MaxNodes,
+			100*float64(s.Pow2Jobs)/float64(max(s.Jobs, 1)),
+			s.SpanSec/3600, s.TotalNodeSec/3600)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.ToSWF().Write(w)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesSWF(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "log.swf")
+	if err := run("Mira", 25, 3, out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	jobs := 0
+	for _, l := range lines {
+		if !strings.HasPrefix(l, ";") {
+			jobs++
+		}
+	}
+	if jobs != 25 {
+		t.Fatalf("%d job lines, want 25", jobs)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("Nope", 10, 1, "", false); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := run("Theta", 10, 1, "/nonexistent/dir/x.swf", false); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command topogen generates SLURM topology.conf files for regular tree and
+// fat-tree clusters, including the machine presets used in the paper's
+// evaluation.
+//
+// Usage:
+//
+//	topogen -preset Theta > theta.conf
+//	topogen -nodes-per-leaf 16 -fanouts 8,4 > tree.conf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		preset       = flag.String("preset", "", "machine preset: Intrepid, Theta, Mira, IITK, PaperExample, Departmental")
+		nodesPerLeaf = flag.Int("nodes-per-leaf", 16, "nodes per leaf switch (custom tree)")
+		fanouts      = flag.String("fanouts", "4", "comma-separated fanouts from leaf level to root (custom tree)")
+		unevenLast   = flag.Int("uneven-last", 0, "override the final leaf's node count (custom tree)")
+		out          = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*preset, *nodesPerLeaf, *fanouts, *unevenLast, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, nodesPerLeaf int, fanouts string, unevenLast int, out string) error {
+	var topo *topology.Topology
+	var err error
+	switch strings.ToLower(preset) {
+	case "intrepid":
+		topo = topology.Intrepid()
+	case "theta":
+		topo = topology.Theta()
+	case "mira":
+		topo = topology.Mira()
+	case "iitk":
+		topo = topology.IITK(4)
+	case "paperexample":
+		topo = topology.PaperExample()
+	case "departmental":
+		topo = topology.Departmental()
+	case "":
+		var fo []int
+		for _, part := range strings.Split(fanouts, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad fanout %q: %v", part, err)
+			}
+			fo = append(fo, v)
+		}
+		topo, err = topology.Generate(topology.Spec{
+			NodesPerLeaf: nodesPerLeaf, Fanouts: fo, UnevenLast: unevenLast,
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown preset %q", preset)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "# %d nodes, %d leaf switches, height %d\n",
+		topo.NumNodes(), topo.NumLeaves(), topo.Height())
+	return topo.WriteConfig(w)
+}

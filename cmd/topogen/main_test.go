@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPresets(t *testing.T) {
+	dir := t.TempDir()
+	for _, preset := range []string{"Theta", "Intrepid", "Mira", "IITK", "PaperExample", "Departmental"} {
+		out := filepath.Join(dir, preset+".conf")
+		if err := run(preset, 0, "", 0, out); err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "SwitchName=") {
+			t.Fatalf("%s output missing switches", preset)
+		}
+	}
+}
+
+func TestRunCustomTree(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tree.conf")
+	if err := run("", 8, "4,2", 3, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 leaves of 8 nodes, last overridden to 3: 59 nodes.
+	if !strings.Contains(string(data), "# 59 nodes, 8 leaf switches, height 3") {
+		t.Fatalf("header wrong:\n%s", string(data))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("Nope", 0, "", 0, ""); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run("", 8, "x,y", 0, ""); err == nil {
+		t.Error("bad fanouts accepted")
+	}
+	if err := run("", 0, "4", 0, ""); err == nil {
+		t.Error("zero nodes-per-leaf accepted")
+	}
+	if err := run("Theta", 0, "", 0, "/nonexistent/dir/x.conf"); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package commsched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's quick
+// start does: topology, trace, tagging, comparison.
+func TestFacadeEndToEnd(t *testing.T) {
+	topo := ThetaTopology()
+	trace := SynthesizeTrace(ThetaPreset, 120, 42)
+	trace, err := trace.Tag(0.9, SingleCollective(RHVD, 0.7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Compare(topo, trace, Algorithms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results, want 4", len(results))
+	}
+	base := results[Default].Summary
+	for _, alg := range []Algorithm{Balanced, Adaptive} {
+		if results[alg].Summary.TotalExecHours > base.TotalExecHours*1.02 {
+			t.Errorf("%v exec %.1f above default %.1f",
+				alg, results[alg].Summary.TotalExecHours, base.TotalExecHours)
+		}
+	}
+}
+
+func TestFacadeParsers(t *testing.T) {
+	if a, err := ParseAlgorithm("balanced"); err != nil || a != Balanced {
+		t.Errorf("ParseAlgorithm: %v, %v", a, err)
+	}
+	if p, err := ParsePattern("binomial"); err != nil || p != Binomial {
+		t.Errorf("ParsePattern: %v, %v", p, err)
+	}
+	if m, err := ParseCostMode("distance-only"); err != nil || m != ModeDistanceOnly {
+		t.Errorf("ParseCostMode: %v, %v", m, err)
+	}
+}
+
+func TestFacadeTopologyRoundTrip(t *testing.T) {
+	topo := PaperExampleTopology()
+	var buf bytes.Buffer
+	if err := topo.WriteConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTopology(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 8 || back.NumLeaves() != 2 {
+		t.Fatalf("round trip shape: %d nodes, %d leaves", back.NumNodes(), back.NumLeaves())
+	}
+	gen, err := GenerateTopology(TopologySpec{NodesPerLeaf: 4, Fanouts: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.NumNodes() != 8 {
+		t.Fatalf("generated %d nodes", gen.NumNodes())
+	}
+}
+
+func TestFacadeCostModel(t *testing.T) {
+	st := NewCluster(PaperExampleTopology())
+	if err := st.Allocate(1, CommIntensive, []int{0, 1, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Allocate(2, CommIntensive, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §5.3 worked numbers.
+	if c := Contention(st, 0, 4); c < 1.874 || c > 1.876 {
+		t.Errorf("C(n0,n4) = %v, want 1.875", c)
+	}
+	if h := EffectiveHops(st, 0, 4); h < 11.49 || h > 11.51 {
+		t.Errorf("Hops(n0,n4) = %v, want 11.5", h)
+	}
+	cost, err := AllocationCost(st, 3, CommIntensive, []int{6, 7}, RD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Errorf("cost = %v", cost)
+	}
+}
+
+func TestFacadeNetwork(t *testing.T) {
+	net := NewNetwork(DepartmentalTopology(), NetworkOptions{})
+	timings, err := net.Run([]CollectiveJob{{
+		Name: "J", Nodes: []int{0, 1, 25, 26}, Pattern: RD, BaseBytes: 1e6, Iterations: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != 1 || timings[0].End <= 0 {
+		t.Fatalf("timings: %+v", timings)
+	}
+}
+
+func TestFacadeSWF(t *testing.T) {
+	trace := SynthesizeTrace(ThetaPreset, 20, 3)
+	var buf bytes.Buffer
+	if err := trace.ToSWF().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ParseSWF(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := TraceFromSWF(log, "Theta", 4392, 0)
+	if len(back.Jobs) != 20 {
+		t.Fatalf("%d jobs after round trip", len(back.Jobs))
+	}
+}
+
+func TestFacadeIndividual(t *testing.T) {
+	trace := SynthesizeTrace(ThetaPreset, 60, 5)
+	trace, err := trace.Tag(0.8, SingleCollective(RD, 0.6), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunIndividual(IndividualConfig{Topology: ThetaTopology(), Seed: 1},
+		trace, trace.Sample(20, 9), Algorithms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if _, err := Run(SimConfig{Topology: ThetaTopology(), Algorithm: Greedy}, trace); err != nil {
+		t.Fatal(err)
+	}
+	if got := ImprovementPct(200, 150); got != 25 {
+		t.Errorf("ImprovementPct = %v", got)
+	}
+	if r := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6}); r < 0.999 {
+		t.Errorf("Pearson = %v", r)
+	}
+}
+
+func TestFacadeDaemon(t *testing.T) {
+	d, err := NewDaemon(DaemonConfig{Topology: PaperExampleTopology(), Algorithm: Adaptive, TimeScale: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewDaemonServer(d)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	client, err := DialDaemon(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	id, err := client.Submit(DaemonRequest{Nodes: 2, Runtime: 1, Class: "comm", Pattern: "RD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ji, err := client.Status(id)
+	if err != nil || ji.Nodes != 2 {
+		t.Fatalf("status: %+v, %v", ji, err)
+	}
+}
+
+func TestFacadeValidateAndPolicies(t *testing.T) {
+	trace := SynthesizeTrace(ThetaPreset, 50, 8)
+	trace, err := trace.Tag(0.9, SingleCollective(Alltoall, 0.7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(SimConfig{Topology: ThetaTopology(), Algorithm: Balanced, Policy: SJF}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateResult(res, trace); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := ParseQueuePolicy("widest"); err != nil || p != WidestFirst {
+		t.Fatalf("ParseQueuePolicy: %v, %v", p, err)
+	}
+	if CoriTopology().NumNodes() != 9688 {
+		t.Fatal("Cori topology wrong")
+	}
+}

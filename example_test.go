@@ -1,0 +1,45 @@
+package commsched_test
+
+import (
+	"fmt"
+
+	commsched "repro"
+)
+
+// Example reproduces the paper's §5.3 worked numbers on the Figure 2
+// fat-tree: the contention factor and effective hops for an intra-switch
+// and a cross-switch node pair.
+func Example() {
+	topo := commsched.PaperExampleTopology()
+	st := commsched.NewCluster(topo)
+	// Job1 (comm) on n0,n1,n4,n5; Job2 (comm) on n2,n3 — Figure 5.
+	st.Allocate(1, commsched.CommIntensive, []int{0, 1, 4, 5})
+	st.Allocate(2, commsched.CommIntensive, []int{2, 3})
+
+	fmt.Printf("C(n0,n1) = %.3f\n", commsched.Contention(st, 0, 1))
+	fmt.Printf("C(n0,n4) = %.3f\n", commsched.Contention(st, 0, 4))
+	fmt.Printf("Hops(n0,n1) = %.1f\n", commsched.EffectiveHops(st, 0, 1))
+	fmt.Printf("Hops(n0,n4) = %.1f\n", commsched.EffectiveHops(st, 0, 4))
+	// Output:
+	// C(n0,n1) = 1.000
+	// C(n0,n4) = 1.875
+	// Hops(n0,n1) = 4.0
+	// Hops(n0,n4) = 11.5
+}
+
+// ExampleNewSelector shows a single balanced placement decision.
+func ExampleNewSelector() {
+	topo := commsched.PaperExampleTopology()
+	st := commsched.NewCluster(topo)
+	st.Allocate(1, commsched.CommIntensive, []int{0, 1})
+
+	sel, _ := commsched.NewSelector(commsched.Balanced)
+	nodes, _ := sel.Select(st, commsched.Request{
+		Job: 2, Nodes: 4, Class: commsched.CommIntensive, Pattern: commsched.RD,
+	})
+	for _, id := range nodes {
+		fmt.Print(topo.NodeName(id), " ")
+	}
+	fmt.Println()
+	// Output: n4 n5 n6 n7
+}

@@ -1,0 +1,68 @@
+// Balanced512 walks through the paper's Table 2 worked example: a
+// 512-node communication-intensive job allocated by the balanced algorithm
+// over seven leaf switches with 160, 150, 100, 80, 70, 50 and 40 free
+// nodes. The algorithm recursively halves the allocation size to the
+// largest power of two each leaf can hold: 128, 128, 64, 64, 64, 32, 32.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	commsched "repro"
+)
+
+func main() {
+	topo, err := commsched.GenerateTopology(commsched.TopologySpec{
+		NodesPerLeaf: 160, Fanouts: []int{7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := commsched.NewCluster(topo)
+
+	// Occupy nodes so the leaves have the free counts of Table 2.
+	free := []int{160, 150, 100, 80, 70, 50, 40}
+	var filler []int
+	for l, f := range free {
+		ids := topo.LeafNodes(l)
+		for k := 0; k < 160-f; k++ {
+			filler = append(filler, ids[k])
+		}
+	}
+	if len(filler) > 0 {
+		if err := st.Allocate(1, commsched.ComputeIntensive, filler); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("free nodes per leaf switch:")
+	for l := range free {
+		fmt.Printf("  L[%d]: %d\n", l+1, st.LeafFree(l))
+	}
+
+	for _, algName := range []commsched.Algorithm{commsched.Balanced, commsched.Greedy, commsched.Default} {
+		sel, err := commsched.NewSelector(algName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes, err := sel.Select(st, commsched.Request{
+			Job: 2, Nodes: 512, Class: commsched.CommIntensive, Pattern: commsched.RD,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := make([]int, topo.NumLeaves())
+		for _, id := range nodes {
+			counts[topo.LeafOf(id)]++
+		}
+		cost, err := commsched.AllocationCost(st, 2, commsched.CommIntensive, nodes, commsched.RD)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%v allocation of 512 nodes (Eq. 6 cost %.1f):\n", algName, cost)
+		for l, c := range counts {
+			fmt.Printf("  L[%d]: %d\n", l+1, c)
+		}
+	}
+	fmt.Println("\nTable 2 expects balanced = 128, 128, 64, 64, 64, 32, 32")
+}

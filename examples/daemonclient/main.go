@@ -1,0 +1,106 @@
+// Daemonclient runs the slurmctld-style scheduling daemon in-process,
+// serves it on a loopback socket, and drives it through the wire client:
+// submissions, queue inspection, a node drain, and completion statistics —
+// the full online-scheduling workflow at 1000× time compression.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/topology"
+)
+
+func main() {
+	d, err := daemon.New(daemon.Config{
+		Topology:  topology.IITK(4), // 64 nodes, 4 leaf switches of 16
+		Algorithm: core.Adaptive,
+		TimeScale: 1000, // one virtual hour ≈ 3.6 wall seconds
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := daemon.NewServer(d)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	fmt.Println("daemon listening on", srv.Addr())
+
+	client, err := daemon.Dial(srv.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Drain one node for "maintenance" before any submissions.
+	if err := client.Drain("n0"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Submit a burst of jobs: communication-intensive allgathers and
+	// compute fillers.
+	var ids []int64
+	for k := 0; k < 6; k++ {
+		req := daemon.Request{
+			Nodes:   8 << (k % 2), // 8 or 16 nodes
+			Runtime: float64(60 + 30*k),
+			Class:   "comm",
+			Pattern: "RHVD",
+			Name:    fmt.Sprintf("allgather-%d", k),
+		}
+		if k%3 == 2 {
+			req.Class = "compute"
+			req.Pattern = ""
+			req.Name = fmt.Sprintf("solver-%d", k)
+		}
+		id, err := client.Submit(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	running, err := client.Running()
+	if err != nil {
+		log.Fatal(err)
+	}
+	queued, err := client.Queue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after submission: %d running, %d queued\n", len(running), len(queued))
+	for _, j := range running {
+		fmt.Printf("  job %d %-12s %2d nodes on %-12s ratio %.3f\n",
+			j.ID, j.Name, j.Nodes, j.NodeList, j.CostRatio)
+	}
+
+	// Wait for everything to finish (virtual minutes = wall milliseconds).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats, err := client.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stats.Completed == len(ids) {
+			fmt.Printf("all %d jobs completed: %.2f exec hours, %.3f wait hours, avg comm cost %.2f\n",
+				stats.Completed, stats.TotalExecHours, stats.TotalWaitHours, stats.AvgCommCost)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("jobs did not finish: %d of %d", stats.Completed, len(ids))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	info, err := client.Info()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster drained back to %d/%d free (%d node down for maintenance)\n",
+		info.FreeNodes, info.MachineNodes, info.DownNodes)
+}

@@ -1,0 +1,57 @@
+// Ioaware demonstrates the paper's §7 "I/O-aware scheduling" future-work
+// direction as prototyped in internal/ioaware: jobs carry an I/O-intensity
+// flag in addition to the communication class, leaf switches accumulate an
+// I/O share, and the extended greedy selector steers both I/O- and
+// communication-intensive jobs away from I/O-loaded leaves (whose uplinks
+// carry the storage traffic).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ioaware"
+	"repro/internal/topology"
+)
+
+func main() {
+	topo := topology.IITK(4) // 64 nodes, 4 leaf switches of 16
+	tracker := ioaware.NewTracker(cluster.New(topo))
+	sel := &ioaware.Selector{Tracker: tracker}
+
+	place := func(id cluster.JobID, nodes int, class cluster.Class, io bool, name string) {
+		req := core.Request{Job: id, Nodes: nodes, Class: class}
+		chosen, err := sel.Select(req, io)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracker.Allocate(id, class, io, chosen); err != nil {
+			log.Fatal(err)
+		}
+		counts := make([]int, topo.NumLeaves())
+		for _, n := range chosen {
+			counts[topo.LeafOf(n)]++
+		}
+		fmt.Printf("%-22s -> per-leaf %v  (I/O cost %.1f)\n",
+			name, counts, tracker.IOCost(chosen))
+	}
+
+	// A checkpoint-heavy application claims half of leaf 0.
+	place(1, 8, cluster.ComputeIntensive, true, "checkpointer (8, I/O)")
+	// A second I/O job avoids leaf 0's loaded uplink.
+	place(2, 8, cluster.ComputeIntensive, true, "analytics (8, I/O)")
+	// A communication-intensive solver also steers clear of the I/O leaves:
+	// its collective traffic would share those uplinks.
+	place(3, 16, cluster.CommIntensive, false, "solver (16, comm)")
+	// A pure compute job takes the loaded leaves, preserving quiet ones.
+	place(4, 8, cluster.ComputeIntensive, false, "batch (8, compute)")
+
+	fmt.Println("\nleaf switch state:")
+	for l := 0; l < topo.NumLeaves(); l++ {
+		fmt.Printf("  %s: busy %2d  io %2d  comm %2d  io-share %.2f\n",
+			topo.Leaves[l].Name, tracker.State().LeafBusy(l),
+			tracker.LeafIO(l), tracker.State().LeafComm(l), tracker.IOShare(l))
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a cluster, tag a workload, and compare the paper's
+// allocation algorithms against SLURM's default in a few lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	commsched "repro"
+)
+
+func main() {
+	// A Theta-like machine: 4,392 nodes, 12 leaf switches of 366.
+	topo := commsched.ThetaTopology()
+
+	// A 500-job synthetic trace matching Theta's published workload shape,
+	// with 90% of jobs tagged communication-intensive running MPI_Allgather
+	// (recursive halving with vector doubling) for 70% of their runtime.
+	trace := commsched.SynthesizeTrace(commsched.ThetaPreset, 500, 42)
+	trace, err := trace.Tag(0.9, commsched.SingleCollective(commsched.RHVD, 0.7), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the trace under each algorithm from identical initial state.
+	results, err := commsched.Compare(topo, trace, commsched.Algorithms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results[commsched.Default].Summary
+	fmt.Printf("%-10s %12s %12s %14s\n", "algorithm", "exec (h)", "wait (h)", "vs default")
+	for _, alg := range commsched.Algorithms {
+		s := results[alg].Summary
+		fmt.Printf("%-10v %12.1f %12.1f %+13.2f%%\n",
+			alg, s.TotalExecHours, s.TotalWaitHours,
+			commsched.ImprovementPct(base.TotalExecHours, s.TotalExecHours))
+	}
+
+	// Peek at a single placement decision: an 8-node comm job on the
+	// Figure 2 example fat-tree with two busy nodes.
+	small := commsched.PaperExampleTopology()
+	st := commsched.NewCluster(small)
+	if err := st.Allocate(1, commsched.CommIntensive, []int{0, 1}); err != nil {
+		log.Fatal(err)
+	}
+	sel, err := commsched.NewSelector(commsched.Balanced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes, err := sel.Select(st, commsched.Request{
+		Job: 2, Nodes: 4, Class: commsched.CommIntensive, Pattern: commsched.RD,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(nodes))
+	for i, id := range nodes {
+		names[i] = small.NodeName(id)
+	}
+	fmt.Printf("\nbalanced placement of a 4-node comm job with n0,n1 busy: %v\n", names)
+	cost, err := commsched.AllocationCost(st, 2, commsched.CommIntensive, nodes, commsched.RD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated communication cost (Eq. 6): %.2f effective hops\n", cost)
+}

@@ -1,0 +1,78 @@
+// Tracecompare exports a synthetic trace to Standard Workload Format,
+// re-imports it (the round trip any real log would take), and compares the
+// four allocation algorithms under both continuous and individual runs —
+// the two evaluation methodologies of §5.4.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	commsched "repro"
+)
+
+func main() {
+	preset := commsched.MiraPreset
+	topo := commsched.MiraTopology()
+
+	// Synthesize a Mira-like trace and push it through SWF, as a real
+	// Parallel Workloads Archive log would arrive.
+	trace := commsched.SynthesizeTrace(preset, 400, 7)
+	var buf bytes.Buffer
+	if err := trace.ToSWF().Write(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %d jobs as SWF (%d bytes)\n", len(trace.Jobs), buf.Len())
+
+	swfLog, err := commsched.ParseSWF(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imported := commsched.TraceFromSWF(swfLog, "Mira", topo.NumNodes(), 0)
+	imported, err = imported.Tag(0.9, commsched.SingleCollective(commsched.RD, 0.7), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Continuous runs: replay the whole trace with original submit times.
+	fmt.Println("\ncontinuous runs (whole trace, original submit times):")
+	results, err := commsched.Compare(topo, imported, commsched.Algorithms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results[commsched.Default].Summary
+	for _, alg := range commsched.Algorithms {
+		s := results[alg].Summary
+		fmt.Printf("  %-9v exec %7.1fh  wait %7.1fh  (exec %+.2f%% vs default)\n",
+			alg, s.TotalExecHours, s.TotalWaitHours,
+			commsched.ImprovementPct(base.TotalExecHours, s.TotalExecHours))
+	}
+
+	// Individual runs: every sampled job placed from the same partially
+	// occupied cluster, one at a time, under every algorithm.
+	fmt.Println("\nindividual runs (100 sampled jobs, identical 40 pct occupied cluster):")
+	idx := imported.Sample(100, 11)
+	ind, err := commsched.RunIndividual(commsched.IndividualConfig{
+		Topology: topo, OccupiedFraction: 0.4, CommFraction: 0.5, Seed: 5,
+	}, imported, idx, commsched.Algorithms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sums := map[commsched.Algorithm]float64{}
+	n := 0
+	for _, r := range ind {
+		baseExec := r.Exec[commsched.Default]
+		if baseExec <= 0 {
+			continue
+		}
+		n++
+		for _, alg := range commsched.Algorithms {
+			sums[alg] += commsched.ImprovementPct(baseExec, r.Exec[alg])
+		}
+	}
+	for _, alg := range commsched.Algorithms {
+		fmt.Printf("  %-9v avg exec improvement over default: %+.2f%% (%d jobs)\n",
+			alg, sums[alg]/float64(n), n)
+	}
+}

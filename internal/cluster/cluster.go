@@ -1,0 +1,313 @@
+// Package cluster tracks which nodes of a topology are allocated to which
+// jobs and maintains the per-leaf-switch counters the paper's algorithms
+// consume: L_nodes (leaf size), L_busy (allocated nodes) and L_comm (nodes
+// running communication-intensive jobs). It also computes the
+// communication ratio of Eq. 1, the quantity the greedy algorithm sorts
+// leaf switches by.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// JobID identifies a job within a simulation run.
+type JobID int64
+
+// Class tags a job as communication- or compute-intensive, the single extra
+// job attribute the paper's scheduler consumes (§4).
+type Class uint8
+
+const (
+	// ComputeIntensive jobs are insensitive to contention and fragmentation.
+	ComputeIntensive Class = iota
+	// CommIntensive jobs run contention-sensitive MPI collectives.
+	CommIntensive
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ComputeIntensive:
+		return "compute"
+	case CommIntensive:
+		return "comm"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Allocation records the nodes held by a running job.
+type Allocation struct {
+	Job   JobID
+	Class Class
+	Nodes []int // node IDs, ascending
+}
+
+// State is the mutable allocation state of a cluster. It is not safe for
+// concurrent use; the simulator is single-threaded per run (experiment
+// harnesses run independent States in parallel).
+type State struct {
+	topo *topology.Topology
+
+	nodeJob  []JobID // per node: owning job, or -1 when free
+	nodeDown []bool  // per node: drained (ineligible for new allocations)
+	leafBusy []int   // per leaf: allocated node count (L_busy)
+	leafComm []int   // per leaf: nodes running comm-intensive jobs (L_comm)
+	// leafUnavail counts free-but-drained nodes per leaf; they are excluded
+	// from LeafFree and FreeTotal.
+	leafUnavail []int
+	free        int
+
+	allocs map[JobID]*Allocation
+}
+
+// New returns an empty State over the topology.
+func New(topo *topology.Topology) *State {
+	s := &State{
+		topo:        topo,
+		nodeJob:     make([]JobID, topo.NumNodes()),
+		nodeDown:    make([]bool, topo.NumNodes()),
+		leafBusy:    make([]int, topo.NumLeaves()),
+		leafComm:    make([]int, topo.NumLeaves()),
+		leafUnavail: make([]int, topo.NumLeaves()),
+		free:        topo.NumNodes(),
+		allocs:      make(map[JobID]*Allocation),
+	}
+	for i := range s.nodeJob {
+		s.nodeJob[i] = -1
+	}
+	return s
+}
+
+// Topology returns the underlying topology.
+func (s *State) Topology() *topology.Topology { return s.topo }
+
+// FreeTotal returns the number of free nodes in the whole cluster.
+func (s *State) FreeTotal() int { return s.free }
+
+// NumRunning returns the number of jobs currently holding allocations.
+func (s *State) NumRunning() int { return len(s.allocs) }
+
+// NodeFree reports whether node id is allocatable: unallocated and not
+// drained.
+func (s *State) NodeFree(id int) bool { return s.nodeJob[id] < 0 && !s.nodeDown[id] }
+
+// NodeJob returns the job holding node id, or -1.
+func (s *State) NodeJob(id int) JobID { return s.nodeJob[id] }
+
+// LeafBusy returns L_busy for leaf l.
+func (s *State) LeafBusy(l int) int { return s.leafBusy[l] }
+
+// LeafComm returns L_comm for leaf l.
+func (s *State) LeafComm(l int) int { return s.leafComm[l] }
+
+// LeafFree returns the number of allocatable nodes on leaf l (drained free
+// nodes are excluded).
+func (s *State) LeafFree(l int) int {
+	return s.topo.LeafSize(l) - s.leafBusy[l] - s.leafUnavail[l]
+}
+
+// SwitchFree returns the number of free nodes in the subtree of sw.
+func (s *State) SwitchFree(sw *topology.Switch) int {
+	total := 0
+	for _, l := range sw.DescLeaves {
+		total += s.LeafFree(l)
+	}
+	return total
+}
+
+// CommRatio computes Eq. 1 for leaf l:
+//
+//	CommunicationRatio(L) = L_comm/L_busy + L_busy/L_nodes
+//
+// An idle leaf (L_busy = 0) has ratio 0: no contention and all nodes free,
+// i.e. the most attractive leaf for a communication-intensive job.
+func (s *State) CommRatio(l int) float64 {
+	busy := s.leafBusy[l]
+	if busy == 0 {
+		return 0
+	}
+	return float64(s.leafComm[l])/float64(busy) +
+		float64(busy)/float64(s.topo.LeafSize(l))
+}
+
+// CommShare returns L_comm/L_nodes for leaf l, the per-switch contention
+// term of the cost model (Eq. 2 and Eq. 3).
+func (s *State) CommShare(l int) float64 {
+	return float64(s.leafComm[l]) / float64(s.topo.LeafSize(l))
+}
+
+// FreeOnLeaf appends the IDs of the allocatable nodes on leaf l to dst and
+// returns the extended slice, in ascending node-ID order.
+func (s *State) FreeOnLeaf(l int, dst []int) []int {
+	for _, id := range s.topo.LeafNodes(l) {
+		if s.NodeFree(id) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// Allocation returns the allocation of job id, or nil.
+func (s *State) Allocation(id JobID) *Allocation {
+	return s.allocs[id]
+}
+
+// RunningAllocations returns all current allocations sorted by job ID.
+func (s *State) RunningAllocations() []*Allocation {
+	out := make([]*Allocation, 0, len(s.allocs))
+	for _, a := range s.allocs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out
+}
+
+// Allocate assigns the listed nodes to the job. All nodes must be free and
+// the job must not already hold an allocation.
+func (s *State) Allocate(job JobID, class Class, nodes []int) error {
+	if job < 0 {
+		return fmt.Errorf("cluster: job IDs must be non-negative, got %d", job)
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("cluster: job %d: empty allocation", job)
+	}
+	if _, dup := s.allocs[job]; dup {
+		return fmt.Errorf("cluster: job %d already allocated", job)
+	}
+	seen := make(map[int]bool, len(nodes))
+	for _, id := range nodes {
+		if id < 0 || id >= len(s.nodeJob) {
+			return fmt.Errorf("cluster: job %d: node %d out of range", job, id)
+		}
+		if seen[id] {
+			return fmt.Errorf("cluster: job %d: node %d listed twice", job, id)
+		}
+		seen[id] = true
+		if s.nodeJob[id] >= 0 {
+			return fmt.Errorf("cluster: job %d: node %d busy (held by job %d)",
+				job, id, s.nodeJob[id])
+		}
+		if s.nodeDown[id] {
+			return fmt.Errorf("cluster: job %d: node %d is drained", job, id)
+		}
+	}
+	sorted := append([]int(nil), nodes...)
+	sort.Ints(sorted)
+	for _, id := range sorted {
+		s.nodeJob[id] = job
+		l := s.topo.LeafOf(id)
+		s.leafBusy[l]++
+		if class == CommIntensive {
+			s.leafComm[l]++
+		}
+	}
+	s.free -= len(sorted)
+	s.allocs[job] = &Allocation{Job: job, Class: class, Nodes: sorted}
+	return nil
+}
+
+// Release frees all nodes held by the job.
+func (s *State) Release(job JobID) error {
+	a, ok := s.allocs[job]
+	if !ok {
+		return fmt.Errorf("cluster: job %d not allocated", job)
+	}
+	returned := 0
+	for _, id := range a.Nodes {
+		s.nodeJob[id] = -1
+		l := s.topo.LeafOf(id)
+		s.leafBusy[l]--
+		if a.Class == CommIntensive {
+			s.leafComm[l]--
+		}
+		if s.nodeDown[id] {
+			// Drained while running: the node leaves service instead of
+			// returning to the allocatable pool.
+			s.leafUnavail[l]++
+		} else {
+			returned++
+		}
+	}
+	s.free += returned
+	delete(s.allocs, job)
+	return nil
+}
+
+// Clone returns an independent deep copy of the state, sharing only the
+// immutable topology. The adaptive algorithm and the hypothetical-default
+// cost reference both evaluate candidate allocations on clones.
+func (s *State) Clone() *State {
+	c := &State{
+		topo:        s.topo,
+		nodeJob:     append([]JobID(nil), s.nodeJob...),
+		nodeDown:    append([]bool(nil), s.nodeDown...),
+		leafBusy:    append([]int(nil), s.leafBusy...),
+		leafComm:    append([]int(nil), s.leafComm...),
+		leafUnavail: append([]int(nil), s.leafUnavail...),
+		free:        s.free,
+		allocs:      make(map[JobID]*Allocation, len(s.allocs)),
+	}
+	for id, a := range s.allocs {
+		c.allocs[id] = &Allocation{
+			Job:   a.Job,
+			Class: a.Class,
+			Nodes: append([]int(nil), a.Nodes...),
+		}
+	}
+	return c
+}
+
+// CheckInvariants verifies internal consistency (counter sums, ownership).
+// It is O(nodes) and intended for tests and failure injection.
+func (s *State) CheckInvariants() error {
+	busy := make([]int, s.topo.NumLeaves())
+	comm := make([]int, s.topo.NumLeaves())
+	unavail := make([]int, s.topo.NumLeaves())
+	freeCount := 0
+	owned := make(map[JobID]int)
+	for id, job := range s.nodeJob {
+		if job < 0 {
+			if s.nodeDown[id] {
+				unavail[s.topo.LeafOf(id)]++
+			} else {
+				freeCount++
+			}
+			continue
+		}
+		a, ok := s.allocs[job]
+		if !ok {
+			return fmt.Errorf("node %d owned by unknown job %d", id, job)
+		}
+		l := s.topo.LeafOf(id)
+		busy[l]++
+		if a.Class == CommIntensive {
+			comm[l]++
+		}
+		owned[job]++
+	}
+	if freeCount != s.free {
+		return fmt.Errorf("free count %d, recomputed %d", s.free, freeCount)
+	}
+	for l := range busy {
+		if busy[l] != s.leafBusy[l] {
+			return fmt.Errorf("leaf %d busy %d, recomputed %d", l, s.leafBusy[l], busy[l])
+		}
+		if comm[l] != s.leafComm[l] {
+			return fmt.Errorf("leaf %d comm %d, recomputed %d", l, s.leafComm[l], comm[l])
+		}
+		if unavail[l] != s.leafUnavail[l] {
+			return fmt.Errorf("leaf %d unavail %d, recomputed %d", l, s.leafUnavail[l], unavail[l])
+		}
+	}
+	for id, a := range s.allocs {
+		if owned[id] != len(a.Nodes) {
+			return fmt.Errorf("job %d holds %d nodes, allocation lists %d",
+				id, owned[id], len(a.Nodes))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import "fmt"
+
+// Node availability management, mirroring SLURM's drain/down handling: a
+// drained node stops being eligible for new allocations immediately, but a
+// job already running on it keeps it until release. Resuming makes the
+// node allocatable again.
+
+// Drain marks a node ineligible for new allocations. Draining an already
+// drained node is a no-op.
+func (s *State) Drain(id int) error {
+	if id < 0 || id >= len(s.nodeJob) {
+		return fmt.Errorf("cluster: drain: node %d out of range", id)
+	}
+	if s.nodeDown[id] {
+		return nil
+	}
+	s.nodeDown[id] = true
+	if s.nodeJob[id] < 0 {
+		// Free node leaves the allocatable pool now.
+		s.leafUnavail[s.topo.LeafOf(id)]++
+		s.free--
+	}
+	return nil
+}
+
+// Resume returns a drained node to service. Resuming a healthy node is a
+// no-op.
+func (s *State) Resume(id int) error {
+	if id < 0 || id >= len(s.nodeJob) {
+		return fmt.Errorf("cluster: resume: node %d out of range", id)
+	}
+	if !s.nodeDown[id] {
+		return nil
+	}
+	s.nodeDown[id] = false
+	if s.nodeJob[id] < 0 {
+		s.leafUnavail[s.topo.LeafOf(id)]--
+		s.free++
+	}
+	return nil
+}
+
+// NodeDown reports whether the node is drained.
+func (s *State) NodeDown(id int) bool { return s.nodeDown[id] }
+
+// DownTotal returns the number of drained nodes (busy or free).
+func (s *State) DownTotal() int {
+	n := 0
+	for _, d := range s.nodeDown {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// LeafUnavail returns the number of drained free nodes on leaf l (nodes
+// that are neither allocatable nor busy).
+func (s *State) LeafUnavail(l int) int { return s.leafUnavail[l] }

@@ -1,0 +1,45 @@
+package collective
+
+// Alltoall is the pairwise-exchange algorithm behind long-message
+// MPI_Alltoall — the collective the paper names as dominant in CPMD
+// (§3.3). Power-of-two rank counts run P-1 perfect-matching steps with
+// partner = rank XOR k; other counts fall back to the shifted-ring
+// pairwise algorithm (partner distance k around the ring), where a rank
+// sends and receives concurrently in each step.
+const Alltoall Pattern = 5
+
+func alltoallSchedule(ranks int) []Step {
+	steps := make([]Step, 0, ranks-1)
+	if ranks&(ranks-1) == 0 {
+		// XOR pairwise: every step is a perfect matching.
+		for k := 1; k < ranks; k++ {
+			st := Step{MsgSize: 1}
+			for i := 0; i < ranks; i++ {
+				j := i ^ k
+				if i < j {
+					st.Pairs = append(st.Pairs, Pair{i, j})
+				}
+			}
+			steps = append(steps, st)
+		}
+		return steps
+	}
+	for k := 1; k < ranks; k++ {
+		st := Step{MsgSize: 1}
+		seen := make(map[Pair]bool, ranks)
+		for i := 0; i < ranks; i++ {
+			j := (i + k) % ranks
+			a, b := i, j
+			if b < a {
+				a, b = b, a
+			}
+			p := Pair{a, b}
+			if !seen[p] {
+				seen[p] = true
+				st.Pairs = append(st.Pairs, p)
+			}
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}

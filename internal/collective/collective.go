@@ -1,0 +1,288 @@
+// Package collective models the step structure of the parallel algorithms
+// underlying MPI collectives (§3.3 of the paper): recursive
+// doubling/halving (RD), recursive halving with vector doubling (RHVD) and
+// binomial tree, plus ring as the future-work extension named in §7.
+//
+// A schedule is a sequence of steps; each step is a set of communicating
+// rank pairs and a relative message size. The paper's cost model (Eq. 6)
+// charges each step the maximum effective hops over its pairs, so the exact
+// step structure — not a flattened communication matrix — is what the
+// allocation algorithms optimise for.
+package collective
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Pattern identifies a collective communication algorithm.
+type Pattern uint8
+
+const (
+	// RD is recursive doubling/halving, used by MPI_Allreduce and the
+	// reduce-scatter phases of several collectives. Partner distance doubles
+	// every step; message size stays constant.
+	RD Pattern = iota
+	// RHVD is recursive halving with vector doubling, used by
+	// MPI_Allgather: partner distance halves while the exchanged vector
+	// doubles, so later (or earlier, depending on orientation) steps move
+	// much more data. The paper notes RHVD has the highest total parallel
+	// communication volume.
+	RHVD
+	// Binomial is the binomial-tree algorithm used by MPI_Bcast, MPI_Reduce
+	// and MPI_Gather: step k connects 2^k new ranks.
+	Binomial
+	// Ring is the ring algorithm (future work in §7): P-1 steps of
+	// neighbour exchange.
+	Ring
+)
+
+// Patterns lists the patterns evaluated in the paper, in presentation order.
+var Patterns = []Pattern{RD, RHVD, Binomial}
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case RD:
+		return "RD"
+	case RHVD:
+		return "RHVD"
+	case Binomial:
+		return "Binomial"
+	case Ring:
+		return "Ring"
+	case Stencil:
+		return "Stencil"
+	case Alltoall:
+		return "Alltoall"
+	default:
+		return fmt.Sprintf("Pattern(%d)", uint8(p))
+	}
+}
+
+// ParsePattern converts a case-insensitive pattern name to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "rd", "recursive-doubling", "recursivedoubling":
+		return RD, nil
+	case "rhvd", "recursive-halving-vector-doubling":
+		return RHVD, nil
+	case "binomial", "binomial-tree", "btree":
+		return Binomial, nil
+	case "ring":
+		return Ring, nil
+	case "stencil", "stencil2d":
+		return Stencil, nil
+	case "alltoall", "a2a", "pairwise":
+		return Alltoall, nil
+	default:
+		return 0, fmt.Errorf("collective: unknown pattern %q", s)
+	}
+}
+
+// Pair is an unordered pair of communicating ranks, stored with A < B.
+type Pair struct{ A, B int }
+
+// Step is one stage of a collective schedule.
+type Step struct {
+	// Pairs are the rank pairs exchanging messages concurrently in this
+	// step.
+	Pairs []Pair
+	// MsgSize is the per-message size of this step relative to the
+	// collective's base message size (1 = base). Vector doubling doubles it
+	// every step.
+	MsgSize float64
+}
+
+// Schedule returns the step schedule for the pattern over `ranks`
+// participants. ranks must be >= 1; a single rank yields an empty schedule
+// (no communication). Non-power-of-two rank counts are handled the way
+// MPICH does for recursive algorithms: the first r = ranks - 2^⌊log2 ranks⌋
+// pairs fold into their neighbours in a preliminary step, the power-of-two
+// algorithm runs over the 2^⌊log2 ranks⌋ surviving ranks, and a final step
+// unfolds the result.
+func (p Pattern) Schedule(ranks int) ([]Step, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("collective: %v: ranks must be >= 1, got %d", p, ranks)
+	}
+	if ranks == 1 {
+		return nil, nil
+	}
+	switch p {
+	case RD:
+		return recursiveSchedule(ranks, false), nil
+	case RHVD:
+		return recursiveSchedule(ranks, true), nil
+	case Binomial:
+		return binomialSchedule(ranks), nil
+	case Ring:
+		return ringSchedule(ranks), nil
+	case Stencil:
+		return stencilSchedule(ranks), nil
+	case Alltoall:
+		return alltoallSchedule(ranks), nil
+	default:
+		return nil, fmt.Errorf("collective: unknown pattern %d", uint8(p))
+	}
+}
+
+// MustSchedule is Schedule but panics on error.
+func (p Pattern) MustSchedule(ranks int) []Step {
+	s, err := p.Schedule(ranks)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumSteps returns the number of steps Schedule produces without building
+// the pair lists.
+func (p Pattern) NumSteps(ranks int) int {
+	if ranks <= 1 {
+		return 0
+	}
+	q := bits.Len(uint(ranks)) - 1 // floor(log2 ranks)
+	pow2 := ranks == 1<<q
+	switch p {
+	case RD, RHVD:
+		if pow2 {
+			return q
+		}
+		return q + 2
+	case Binomial:
+		if pow2 {
+			return q
+		}
+		return q + 1 // ceil(log2 ranks)
+	case Ring:
+		return ranks - 1
+	case Stencil:
+		return len(stencilSchedule(ranks))
+	case Alltoall:
+		return ranks - 1
+	default:
+		return 0
+	}
+}
+
+// recursiveSchedule builds RD (vectorDoubling=false) or RHVD
+// (vectorDoubling=true) schedules.
+func recursiveSchedule(ranks int, vectorDoubling bool) []Step {
+	q := bits.Len(uint(ranks)) - 1
+	pow2 := 1 << q
+	r := ranks - pow2
+
+	// survivors maps the 2^q algorithm ranks to real ranks.
+	survivors := make([]int, 0, pow2)
+	if r == 0 {
+		for i := 0; i < ranks; i++ {
+			survivors = append(survivors, i)
+		}
+	} else {
+		for i := 0; i < 2*r; i += 2 {
+			survivors = append(survivors, i+1) // odd ranks of the folded prefix
+		}
+		for i := 2 * r; i < ranks; i++ {
+			survivors = append(survivors, i)
+		}
+	}
+
+	var steps []Step
+	if r > 0 {
+		pre := Step{MsgSize: 1}
+		for m := 0; m < r; m++ {
+			pre.Pairs = append(pre.Pairs, Pair{2 * m, 2*m + 1})
+		}
+		steps = append(steps, pre)
+	}
+	for k := 0; k < q; k++ {
+		var dist int
+		msize := 1.0
+		if vectorDoubling {
+			// Distance halves (2^(q-1-k)) while the vector doubles (2^k).
+			dist = 1 << (q - 1 - k)
+			msize = float64(int64(1) << k)
+		} else {
+			dist = 1 << k
+		}
+		st := Step{MsgSize: msize}
+		for i := 0; i < pow2; i++ {
+			j := i ^ dist
+			if i < j {
+				st.Pairs = append(st.Pairs, Pair{survivors[i], survivors[j]})
+			}
+		}
+		steps = append(steps, st)
+	}
+	if r > 0 {
+		post := Step{MsgSize: 1}
+		if vectorDoubling {
+			// The folded ranks receive the fully gathered vector.
+			post.MsgSize = float64(pow2)
+		}
+		for m := 0; m < r; m++ {
+			post.Pairs = append(post.Pairs, Pair{2 * m, 2*m + 1})
+		}
+		steps = append(steps, post)
+	}
+	return steps
+}
+
+// binomialSchedule builds the binomial-tree broadcast schedule: at step k,
+// every rank i < 2^k with a partner i + 2^k < ranks sends to it.
+func binomialSchedule(ranks int) []Step {
+	var steps []Step
+	for offset := 1; offset < ranks; offset <<= 1 {
+		st := Step{MsgSize: 1}
+		for i := 0; i < offset && i+offset < ranks; i++ {
+			st.Pairs = append(st.Pairs, Pair{i, i + offset})
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// ringSchedule builds the ring allgather schedule: ranks-1 steps, each a
+// full neighbour exchange around the ring.
+func ringSchedule(ranks int) []Step {
+	pairs := make([]Pair, 0, ranks)
+	for i := 0; i < ranks; i++ {
+		j := (i + 1) % ranks
+		a, b := i, j
+		if b < a {
+			a, b = b, a
+		}
+		pairs = append(pairs, Pair{a, b})
+	}
+	if ranks == 2 {
+		pairs = pairs[:1]
+	}
+	steps := make([]Step, ranks-1)
+	for k := range steps {
+		steps[k] = Step{Pairs: pairs, MsgSize: 1}
+	}
+	return steps
+}
+
+// TotalMessages returns the total number of point-to-point messages in the
+// schedule (pairs summed over steps); a proxy for total parallel
+// communication volume when multiplied by message sizes.
+func TotalMessages(steps []Step) int {
+	n := 0
+	for _, st := range steps {
+		n += len(st.Pairs)
+	}
+	return n
+}
+
+// TotalVolume returns the sum over steps of len(Pairs) * MsgSize, i.e. the
+// total relative bytes moved. RHVD's volume exceeds RD's for the same rank
+// count, which is why the paper sees larger gains for RHVD.
+func TotalVolume(steps []Step) float64 {
+	v := 0.0
+	for _, st := range steps {
+		v += float64(len(st.Pairs)) * st.MsgSize
+	}
+	return v
+}

@@ -1,0 +1,44 @@
+package collective_test
+
+import (
+	"fmt"
+
+	"repro/internal/collective"
+)
+
+func ExamplePattern_Schedule() {
+	// Figure 3 of the paper: recursive doubling over 8 ranks.
+	steps := collective.RD.MustSchedule(8)
+	for k, st := range steps {
+		fmt.Printf("step %d: %v\n", k+1, st.Pairs)
+	}
+	// Output:
+	// step 1: [{0 1} {2 3} {4 5} {6 7}]
+	// step 2: [{0 2} {1 3} {4 6} {5 7}]
+	// step 3: [{0 4} {1 5} {2 6} {3 7}]
+}
+
+func ExamplePattern_Schedule_vectorDoubling() {
+	// MPI_Allgather's recursive halving with vector doubling: partner
+	// distance halves while the exchanged vector doubles.
+	for k, st := range collective.RHVD.MustSchedule(8) {
+		fmt.Printf("step %d: distance pairs like %v, message x%.0f\n",
+			k+1, st.Pairs[0], st.MsgSize)
+	}
+	// Output:
+	// step 1: distance pairs like {0 4}, message x1
+	// step 2: distance pairs like {0 2}, message x2
+	// step 3: distance pairs like {0 1}, message x4
+}
+
+func ExampleMix() {
+	// The paper's experiment set D: 50% compute, 15% RD, 35% binomial
+	// (a CMC2D-like profile).
+	fmt.Printf("%s: %.0f%% compute, %.0f%% communication\n",
+		collective.SetD.Name, collective.SetD.ComputeFrac*100, collective.SetD.CommFrac()*100)
+	p, _ := collective.SetD.PrimaryPattern()
+	fmt.Println("dominant collective:", p)
+	// Output:
+	// D: 50% compute, 50% communication
+	// dominant collective: Binomial
+}

@@ -1,0 +1,89 @@
+package collective
+
+import "fmt"
+
+// Component is one communication phase of a job's runtime: a pattern and
+// the fraction of total runtime it accounts for.
+type Component struct {
+	Pattern Pattern
+	Frac    float64
+}
+
+// Mix describes how a job's runtime divides between computation and one or
+// more collective patterns, as in the paper's §6.2 experiment sets. The
+// fractions must sum to 1.
+type Mix struct {
+	Name        string
+	ComputeFrac float64
+	Comms       []Component
+}
+
+// Validate checks that the fractions are non-negative and sum to 1 (within
+// rounding tolerance).
+func (m Mix) Validate() error {
+	sum := m.ComputeFrac
+	if m.ComputeFrac < 0 {
+		return fmt.Errorf("collective: mix %q: negative compute fraction", m.Name)
+	}
+	for _, c := range m.Comms {
+		if c.Frac < 0 {
+			return fmt.Errorf("collective: mix %q: negative fraction for %v", m.Name, c.Pattern)
+		}
+		sum += c.Frac
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("collective: mix %q: fractions sum to %v, want 1", m.Name, sum)
+	}
+	return nil
+}
+
+// CommFrac returns the total communication fraction.
+func (m Mix) CommFrac() float64 {
+	f := 0.0
+	for _, c := range m.Comms {
+		f += c.Frac
+	}
+	return f
+}
+
+// SinglePattern returns a mix with the given communication fraction spent
+// entirely in one pattern.
+func SinglePattern(p Pattern, commFrac float64) Mix {
+	return Mix{
+		Name:        fmt.Sprintf("%v-%.0f%%", p, commFrac*100),
+		ComputeFrac: 1 - commFrac,
+		Comms:       []Component{{Pattern: p, Frac: commFrac}},
+	}
+}
+
+// The paper's §6.2 experiment sets. D and E mirror the CMC2D proxy-app
+// profile (RD + Binomial); the communication ratios follow prior studies.
+var (
+	// SetA is 67% compute, 33% RHVD.
+	SetA = Mix{Name: "A", ComputeFrac: 0.67, Comms: []Component{{RHVD, 0.33}}}
+	// SetB is 50% compute, 50% RHVD.
+	SetB = Mix{Name: "B", ComputeFrac: 0.50, Comms: []Component{{RHVD, 0.50}}}
+	// SetC is 30% compute, 70% RHVD.
+	SetC = Mix{Name: "C", ComputeFrac: 0.30, Comms: []Component{{RHVD, 0.70}}}
+	// SetD is 50% compute, 15% RD, 35% Binomial.
+	SetD = Mix{Name: "D", ComputeFrac: 0.50, Comms: []Component{{RD, 0.15}, {Binomial, 0.35}}}
+	// SetE is 30% compute, 21% RD, 49% Binomial.
+	SetE = Mix{Name: "E", ComputeFrac: 0.30, Comms: []Component{{RD, 0.21}, {Binomial, 0.49}}}
+)
+
+// ExperimentSets lists the §6.2 sets in presentation order.
+var ExperimentSets = []Mix{SetA, SetB, SetC, SetD, SetE}
+
+// PrimaryPattern returns the pattern carrying the largest communication
+// fraction; allocation decisions use the job's dominant collective (§3.3).
+func (m Mix) PrimaryPattern() (Pattern, bool) {
+	best := -1.0
+	var p Pattern
+	for _, c := range m.Comms {
+		if c.Frac > best {
+			best = c.Frac
+			p = c.Pattern
+		}
+	}
+	return p, best > 0
+}

@@ -1,0 +1,57 @@
+package collective
+
+import "math"
+
+// Stencil is the 2D halo-exchange pattern named (with ring) in the paper's
+// future work (§7). Ranks are arranged in the most-square r×c grid with
+// r*c = ranks; each iteration exchanges with the four neighbours. Under the
+// single-port model each direction needs two matchings (even and odd
+// offsets), so a full exchange is up to four steps of constant message
+// size. Degenerate grids (prime rank counts) collapse to a 1D chain of two
+// steps.
+const Stencil Pattern = 4
+
+// stencilSchedule builds the halo-exchange steps for an r×c grid.
+func stencilSchedule(ranks int) []Step {
+	rows, cols := gridShape(ranks)
+	rank := func(r, c int) int { return r*cols + c }
+	var steps []Step
+	// Horizontal exchanges: columns (c, c+1) with even c, then odd c.
+	for parity := 0; parity < 2; parity++ {
+		st := Step{MsgSize: 1}
+		for r := 0; r < rows; r++ {
+			for c := parity; c+1 < cols; c += 2 {
+				st.Pairs = append(st.Pairs, Pair{rank(r, c), rank(r, c+1)})
+			}
+		}
+		if len(st.Pairs) > 0 {
+			steps = append(steps, st)
+		}
+	}
+	// Vertical exchanges: rows (r, r+1) with even r, then odd r.
+	for parity := 0; parity < 2; parity++ {
+		st := Step{MsgSize: 1}
+		for r := parity; r+1 < rows; r += 2 {
+			for c := 0; c < cols; c++ {
+				st.Pairs = append(st.Pairs, Pair{rank(r, c), rank(r+1, c)})
+			}
+		}
+		if len(st.Pairs) > 0 {
+			steps = append(steps, st)
+		}
+	}
+	return steps
+}
+
+// gridShape returns the most-square factorisation rows×cols = ranks with
+// rows <= cols.
+func gridShape(ranks int) (rows, cols int) {
+	rows = 1
+	for f := int(math.Sqrt(float64(ranks))); f >= 1; f-- {
+		if ranks%f == 0 {
+			rows = f
+			break
+		}
+	}
+	return rows, ranks / rows
+}

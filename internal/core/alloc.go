@@ -1,0 +1,499 @@
+// Package core implements the paper's node allocation algorithms (§4):
+// the default SLURM topology/tree best-fit selection, the greedy algorithm
+// (Algorithm 1), the balanced algorithm (Algorithm 2) and the adaptive
+// algorithm (§4.3), plus ablation variants used in the extended benchmarks.
+//
+// A Selector chooses nodes but does not commit them; callers allocate the
+// returned node list on the cluster.State. Returned node lists are in rank
+// order: rank r of the job runs on nodes[r]. All selectors are
+// deterministic for a given state.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/costmodel"
+	"repro/internal/topology"
+)
+
+// ErrInsufficientNodes is returned when the cluster does not currently have
+// enough free nodes for the request; the job must wait in the queue.
+var ErrInsufficientNodes = errors.New("core: insufficient free nodes")
+
+// Request describes one allocation request.
+type Request struct {
+	Job   cluster.JobID
+	Nodes int
+	// Class is the job's compute/communication classification, the extra
+	// job parameter the paper introduces.
+	Class cluster.Class
+	// Pattern is the parallel algorithm of the job's dominant collective;
+	// the adaptive algorithm costs candidates with it. Ignored by the other
+	// selectors. Defaults to RD semantics when the job is compute-intensive.
+	Pattern collective.Pattern
+}
+
+// Selector is a node-selection policy.
+type Selector interface {
+	// Name returns the selector's presentation name.
+	Name() string
+	// Select returns the nodes to allocate, in rank order, without
+	// modifying the state (the adaptive selector uses tentative
+	// allocations internally but always rolls them back).
+	Select(st *cluster.State, req Request) ([]int, error)
+}
+
+// Algorithm enumerates the available selectors.
+type Algorithm uint8
+
+const (
+	// Default is SLURM's topology/tree + select/linear behaviour: lowest
+	// common switch, then best-fit (fewest free nodes first) across leaves.
+	Default Algorithm = iota
+	// Greedy is Algorithm 1: leaves ordered by communication ratio (Eq. 1).
+	Greedy
+	// Balanced is Algorithm 2: power-of-two allocation on leaves ordered by
+	// free nodes.
+	Balanced
+	// Adaptive costs the greedy and balanced candidates (Eq. 6) and keeps
+	// the cheaper one for communication-intensive jobs (§4.3).
+	Adaptive
+	// BalancedNoPow2 is an ablation: balanced's leaf order without the
+	// power-of-two constraint.
+	BalancedNoPow2
+)
+
+// Algorithms lists the four algorithms compared in the paper's evaluation.
+var Algorithms = []Algorithm{Default, Greedy, Balanced, Adaptive}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Default:
+		return "default"
+	case Greedy:
+		return "greedy"
+	case Balanced:
+		return "balanced"
+	case Adaptive:
+		return "adaptive"
+	case BalancedNoPow2:
+		return "balanced-nopow2"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// ParseAlgorithm converts a case-insensitive algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "default", "slurm":
+		return Default, nil
+	case "greedy":
+		return Greedy, nil
+	case "balanced":
+		return Balanced, nil
+	case "adaptive":
+		return Adaptive, nil
+	case "balanced-nopow2", "nopow2":
+		return BalancedNoPow2, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q", s)
+	}
+}
+
+// New returns the Selector for an Algorithm.
+func New(a Algorithm) (Selector, error) {
+	switch a {
+	case Default:
+		return defaultSelector{}, nil
+	case Greedy:
+		return greedySelector{}, nil
+	case Balanced:
+		return balancedSelector{pow2: true}, nil
+	case Adaptive:
+		return adaptiveSelector{}, nil
+	case BalancedNoPow2:
+		return balancedSelector{pow2: false}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", uint8(a))
+	}
+}
+
+// MustNew is New but panics on error.
+func MustNew(a Algorithm) Selector {
+	s, err := New(a)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// findLowestSwitch returns the lowest-level switch whose subtree has at
+// least n free nodes (line 2 of Algorithms 1 and 2, and SLURM's
+// topology/tree behaviour). Among equal-level candidates it best-fits: the
+// switch with the fewest free nodes wins, ties broken by discovery order.
+// Topology.Switches is ordered by ascending level, so the first level with
+// a candidate is the lowest.
+func findLowestSwitch(st *cluster.State, n int) (*topology.Switch, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: request for %d nodes", n)
+	}
+	var best *topology.Switch
+	bestFree := 0
+	level := -1
+	for _, sw := range st.Topology().Switches {
+		if best != nil && sw.Level > level {
+			break
+		}
+		free := st.SwitchFree(sw)
+		if free < n {
+			continue
+		}
+		if best == nil || free < bestFree {
+			best, bestFree, level = sw, free, sw.Level
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: want %d, have %d", ErrInsufficientNodes, n, st.FreeTotal())
+	}
+	return best, nil
+}
+
+// takeFromLeaf appends up to max free nodes of leaf l (ascending node ID)
+// to dst.
+func takeFromLeaf(st *cluster.State, l, max int, dst []int) []int {
+	if max <= 0 {
+		return dst
+	}
+	taken := 0
+	for _, id := range st.Topology().LeafNodes(l) {
+		if taken == max {
+			break
+		}
+		if st.NodeFree(id) {
+			dst = append(dst, id)
+			taken++
+		}
+	}
+	return dst
+}
+
+// leafOrder pairs a leaf index with the sort keys current when the
+// selector ran; sorting a snapshot keeps selectors deterministic even
+// though allocation mutates free counts as it walks the order.
+type leafOrder struct {
+	leaf  int
+	free  int
+	ratio float64
+}
+
+func snapshotLeaves(st *cluster.State, leaves []int) []leafOrder {
+	out := make([]leafOrder, len(leaves))
+	for i, l := range leaves {
+		out[i] = leafOrder{leaf: l, free: st.LeafFree(l), ratio: st.CommRatio(l)}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- default
+
+type defaultSelector struct{}
+
+func (defaultSelector) Name() string { return "default" }
+
+// Select implements SLURM's best-fit topology allocation (§3.1): find the
+// lowest-level switch with enough free nodes, then fill leaves in
+// increasing order of free node count to reduce fragmentation.
+func (defaultSelector) Select(st *cluster.State, req Request) ([]int, error) {
+	p, err := findLowestSwitch(st, req.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if p.IsLeaf() {
+		return takeFromLeaf(st, p.LeafIndex, req.Nodes, make([]int, 0, req.Nodes)), nil
+	}
+	order := snapshotLeaves(st, p.DescLeaves)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].free != order[j].free {
+			return order[i].free < order[j].free
+		}
+		return order[i].leaf < order[j].leaf
+	})
+	out := make([]int, 0, req.Nodes)
+	remaining := req.Nodes
+	for _, lo := range order {
+		if lo.free == 0 {
+			continue
+		}
+		take := lo.free
+		if take > remaining {
+			take = remaining
+		}
+		out = takeFromLeaf(st, lo.leaf, take, out)
+		remaining -= take
+		if remaining == 0 {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("core: default: switch %s promised %d nodes, found %d",
+		p.Name, req.Nodes, len(out))
+}
+
+// ----------------------------------------------------------------- greedy
+
+type greedySelector struct{}
+
+func (greedySelector) Name() string { return "greedy" }
+
+// Select implements Algorithm 1. Communication-intensive jobs fill leaves
+// in increasing order of communication ratio (least contended, most free
+// first); compute-intensive jobs fill in decreasing order, preserving the
+// good leaves for future communication-intensive jobs.
+func (greedySelector) Select(st *cluster.State, req Request) ([]int, error) {
+	p, err := findLowestSwitch(st, req.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if p.IsLeaf() {
+		return takeFromLeaf(st, p.LeafIndex, req.Nodes, make([]int, 0, req.Nodes)), nil
+	}
+	order := snapshotLeaves(st, p.DescLeaves)
+	comm := req.Class == cluster.CommIntensive
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.ratio != b.ratio {
+			if comm {
+				return a.ratio < b.ratio
+			}
+			return a.ratio > b.ratio
+		}
+		if a.free != b.free {
+			if comm {
+				return a.free > b.free // fewer fragments for comm jobs
+			}
+			return a.free < b.free
+		}
+		return a.leaf < b.leaf
+	})
+	out := make([]int, 0, req.Nodes)
+	remaining := req.Nodes
+	for _, lo := range order {
+		if lo.free == 0 {
+			continue
+		}
+		take := lo.free
+		if take > remaining {
+			take = remaining
+		}
+		out = takeFromLeaf(st, lo.leaf, take, out)
+		remaining -= take
+		if remaining == 0 {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("core: greedy: switch %s promised %d nodes, found %d",
+		p.Name, req.Nodes, len(out))
+}
+
+// --------------------------------------------------------------- balanced
+
+type balancedSelector struct {
+	// pow2 enables the power-of-two constraint; disabling it is the
+	// BalancedNoPow2 ablation.
+	pow2 bool
+}
+
+func (s balancedSelector) Name() string {
+	if s.pow2 {
+		return "balanced"
+	}
+	return "balanced-nopow2"
+}
+
+// Select implements Algorithm 2. For communication-intensive jobs, leaves
+// are visited in decreasing order of free nodes and each receives the
+// largest power of two ≤ its free count (alloc_size S carries across
+// leaves, only ever shrinking); leftover demand is satisfied in a second,
+// reverse-order pass without the power-of-two constraint. For
+// compute-intensive jobs, leaves are filled in increasing order of free
+// nodes, preserving large free blocks.
+func (s balancedSelector) Select(st *cluster.State, req Request) ([]int, error) {
+	p, err := findLowestSwitch(st, req.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if p.IsLeaf() {
+		return takeFromLeaf(st, p.LeafIndex, req.Nodes, make([]int, 0, req.Nodes)), nil
+	}
+	order := snapshotLeaves(st, p.DescLeaves)
+	out := make([]int, 0, req.Nodes)
+	remaining := req.Nodes
+
+	if req.Class != cluster.CommIntensive {
+		sort.SliceStable(order, func(i, j int) bool {
+			if order[i].free != order[j].free {
+				return order[i].free < order[j].free
+			}
+			return order[i].leaf < order[j].leaf
+		})
+		for _, lo := range order {
+			if lo.free == 0 {
+				continue
+			}
+			take := lo.free
+			if take > remaining {
+				take = remaining
+			}
+			out = takeFromLeaf(st, lo.leaf, take, out)
+			remaining -= take
+			if remaining == 0 {
+				return out, nil
+			}
+		}
+		return nil, fmt.Errorf("core: balanced: switch %s promised %d nodes, found %d",
+			p.Name, req.Nodes, len(out))
+	}
+
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].free != order[j].free {
+			return order[i].free > order[j].free
+		}
+		return order[i].leaf < order[j].leaf
+	})
+	// First pass: powers of two only (lines 12-21 of Algorithm 2).
+	taken := make([]int, len(order))
+	allocSize := remaining
+	for i, lo := range order {
+		if lo.free == 0 {
+			continue
+		}
+		if s.pow2 {
+			for allocSize > lo.free {
+				allocSize /= 2
+			}
+		} else {
+			allocSize = lo.free
+		}
+		take := allocSize
+		if take > remaining {
+			take = remaining
+		}
+		if take == 0 {
+			continue
+		}
+		out = takeFromLeaf(st, lo.leaf, take, out)
+		taken[i] = take
+		remaining -= take
+		if remaining == 0 {
+			return out, nil
+		}
+	}
+	// Second pass, reverse sorted order: fill with whatever is left
+	// (lines 22-28).
+	for i := len(order) - 1; i >= 0 && remaining > 0; i-- {
+		free := order[i].free - taken[i]
+		if free <= 0 {
+			continue
+		}
+		take := free
+		if take > remaining {
+			take = remaining
+		}
+		// Skip the nodes already taken in pass one: takeFromLeaf only
+		// returns free nodes, and pass-one nodes are not yet committed, so
+		// exclude them explicitly.
+		out = appendAvoiding(st, order[i].leaf, take, out)
+		remaining -= take
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("core: balanced: switch %s promised %d nodes, short by %d",
+			p.Name, req.Nodes, remaining)
+	}
+	return out, nil
+}
+
+// appendAvoiding appends up to max free nodes of leaf l that are not
+// already present in dst.
+func appendAvoiding(st *cluster.State, l, max int, dst []int) []int {
+	if max <= 0 {
+		return dst
+	}
+	chosen := make(map[int]bool, len(dst))
+	for _, id := range dst {
+		chosen[id] = true
+	}
+	taken := 0
+	for _, id := range st.Topology().LeafNodes(l) {
+		if taken == max {
+			break
+		}
+		if st.NodeFree(id) && !chosen[id] {
+			dst = append(dst, id)
+			taken++
+		}
+	}
+	return dst
+}
+
+// --------------------------------------------------------------- adaptive
+
+type adaptiveSelector struct{}
+
+func (adaptiveSelector) Name() string { return "adaptive" }
+
+// Select implements §4.3: build both the greedy and the balanced
+// candidates, estimate each one's communication cost (Eq. 6, with the
+// candidate tentatively in place), and keep the cheaper candidate for
+// communication-intensive jobs or the more expensive one for
+// compute-intensive jobs (preserving low-cost placements for comm jobs).
+// Ties go to the balanced candidate.
+func (adaptiveSelector) Select(st *cluster.State, req Request) ([]int, error) {
+	g, err := greedySelector{}.Select(st, req)
+	if err != nil {
+		return nil, err
+	}
+	b, err := balancedSelector{pow2: true}.Select(st, req)
+	if err != nil {
+		return nil, err
+	}
+	costG, err := costmodel.CandidateCost(st, req.Job, req.Class, g, req.Pattern)
+	if err != nil {
+		return nil, fmt.Errorf("core: adaptive: costing greedy candidate: %w", err)
+	}
+	costB, err := costmodel.CandidateCost(st, req.Job, req.Class, b, req.Pattern)
+	if err != nil {
+		return nil, fmt.Errorf("core: adaptive: costing balanced candidate: %w", err)
+	}
+	if req.Class == cluster.CommIntensive {
+		if costG < costB {
+			return g, nil
+		}
+		return b, nil
+	}
+	if costG > costB {
+		return g, nil
+	}
+	return b, nil
+}
+
+// SelectAndAllocate runs the selector and commits the result on success.
+func SelectAndAllocate(sel Selector, st *cluster.State, req Request) ([]int, error) {
+	nodes, err := sel.Select(st, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) != req.Nodes {
+		return nil, fmt.Errorf("core: %s returned %d nodes for a %d-node request",
+			sel.Name(), len(nodes), req.Nodes)
+	}
+	if err := st.Allocate(req.Job, req.Class, nodes); err != nil {
+		return nil, err
+	}
+	return nodes, nil
+}

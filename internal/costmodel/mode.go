@@ -1,0 +1,113 @@
+package costmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+)
+
+// Mode selects the cost function used to evaluate allocations.
+type Mode uint8
+
+const (
+	// ModeEffectiveHops is the paper's Eq. 6: per-step max of
+	// d(i,j)·(1+C(i,j)).
+	ModeEffectiveHops Mode = iota
+	// ModeDistanceOnly is the ablation that ignores contention:
+	// per-step max of d(i,j). It isolates how much of the algorithms'
+	// benefit comes from the contention factor.
+	ModeDistanceOnly
+	// ModeHopBytes weights each step by its relative message size,
+	// the hop-bytes estimate of §5.3.
+	ModeHopBytes
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeEffectiveHops:
+		return "effective-hops"
+	case ModeDistanceOnly:
+		return "distance-only"
+	case ModeHopBytes:
+		return "hop-bytes"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// ParseMode converts a case-insensitive mode name.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "effective-hops", "hops", "":
+		return ModeEffectiveHops, nil
+	case "distance-only", "distance":
+		return ModeDistanceOnly, nil
+	case "hop-bytes", "hopbytes":
+		return ModeHopBytes, nil
+	default:
+		return 0, fmt.Errorf("costmodel: unknown mode %q", s)
+	}
+}
+
+// JobCostMode evaluates the job cost under the chosen mode.
+func JobCostMode(st *cluster.State, nodes []int, steps []collective.Step, mode Mode) (float64, error) {
+	switch mode {
+	case ModeEffectiveHops:
+		return JobCost(st, nodes, steps)
+	case ModeHopBytes:
+		return JobCostHopBytes(st, nodes, steps, 1)
+	case ModeDistanceOnly:
+		topo := st.Topology()
+		total := 0.0
+		var prevPairs *collective.Pair
+		prevMax := 0
+		for sIdx, step := range steps {
+			if len(step.Pairs) > 0 && prevPairs == &step.Pairs[0] {
+				total += float64(prevMax)
+				continue
+			}
+			max := 0
+			for _, p := range step.Pairs {
+				if p.A < 0 || p.B >= len(nodes) {
+					return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
+						sIdx, p.A, p.B, len(nodes))
+				}
+				if d := topo.Distance(nodes[p.A], nodes[p.B]); d > max {
+					max = d
+				}
+			}
+			if len(step.Pairs) > 0 {
+				prevPairs = &step.Pairs[0]
+				prevMax = max
+			}
+			total += float64(max)
+		}
+		return total, nil
+	default:
+		return 0, fmt.Errorf("costmodel: unknown mode %d", uint8(mode))
+	}
+}
+
+// CandidateCostMode is CandidateCost under the chosen mode: tentatively
+// allocates the candidate, costs it, and rolls back.
+func CandidateCostMode(st *cluster.State, job cluster.JobID, class cluster.Class,
+	nodes []int, p collective.Pattern, mode Mode) (float64, error) {
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("costmodel: empty candidate allocation")
+	}
+	if err := st.Allocate(job, class, nodes); err != nil {
+		return 0, fmt.Errorf("costmodel: candidate allocate: %w", err)
+	}
+	steps, err := p.Schedule(len(nodes))
+	var cost float64
+	if err == nil {
+		cost, err = JobCostMode(st, nodes, steps, mode)
+	}
+	if rerr := st.Release(job); rerr != nil && err == nil {
+		err = rerr
+	}
+	return cost, err
+}

@@ -1,0 +1,174 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+func TestParseModeAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+	}{
+		{"effective-hops", ModeEffectiveHops},
+		{"hops", ModeEffectiveHops},
+		{"", ModeEffectiveHops},
+		{"distance-only", ModeDistanceOnly},
+		{"distance", ModeDistanceOnly},
+		{"hop-bytes", ModeHopBytes},
+		{"HopBytes", ModeHopBytes},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseMode("nope"); err == nil {
+		t.Error("ParseMode(nope): expected error")
+	}
+	for _, m := range []Mode{ModeEffectiveHops, ModeDistanceOnly, ModeHopBytes, Mode(77)} {
+		if m.String() == "" {
+			t.Errorf("empty String for %d", uint8(m))
+		}
+	}
+}
+
+func TestJobCostModeAgreement(t *testing.T) {
+	st := figure5State(t)
+	nodes := []int{0, 1, 4, 5}
+	steps := collective.RHVD.MustSchedule(4)
+
+	hops, err := JobCostMode(st, nodes, steps, ModeEffectiveHops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := JobCost(st, nodes, steps)
+	if err != nil || hops != want {
+		t.Fatalf("effective-hops mode %v != JobCost %v (%v)", hops, want, err)
+	}
+
+	hb, err := JobCostMode(st, nodes, steps, ModeHopBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHB, err := JobCostHopBytes(st, nodes, steps, 1)
+	if err != nil || hb != wantHB {
+		t.Fatalf("hop-bytes mode %v != JobCostHopBytes %v (%v)", hb, wantHB, err)
+	}
+
+	// Distance-only: RHVD(4) over a 2+2 split has one cross step (d=4) and
+	// one intra step (d=2): 6.
+	dist, err := JobCostMode(st, nodes, steps, ModeDistanceOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist != 6 {
+		t.Fatalf("distance-only = %v, want 6", dist)
+	}
+	// Contention makes effective hops strictly larger than distance here.
+	if hops <= dist {
+		t.Fatalf("effective hops %v <= distance %v", hops, dist)
+	}
+
+	if _, err := JobCostMode(st, nodes, steps, Mode(77)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := JobCostMode(st, []int{0}, steps, ModeDistanceOnly); err == nil {
+		t.Error("out-of-range pair accepted in distance-only mode")
+	}
+}
+
+func TestCandidateCostMode(t *testing.T) {
+	st := cluster.New(topology.PaperExample())
+	free := st.FreeTotal()
+	for _, mode := range []Mode{ModeEffectiveHops, ModeDistanceOnly, ModeHopBytes} {
+		cost, err := CandidateCostMode(st, 1, cluster.CommIntensive, []int{0, 1, 4, 5},
+			collective.RD, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if cost <= 0 {
+			t.Fatalf("%v: cost %v", mode, cost)
+		}
+		if st.FreeTotal() != free {
+			t.Fatalf("%v: state not rolled back", mode)
+		}
+	}
+	if _, err := CandidateCostMode(st, 1, cluster.CommIntensive, nil, collective.RD, ModeEffectiveHops); err == nil {
+		t.Error("empty candidate accepted")
+	}
+	if _, err := CandidateCostMode(st, 1, cluster.CommIntensive, []int{0, 1}, collective.Pattern(99), ModeEffectiveHops); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	// Bad pattern rolled back too.
+	if st.FreeTotal() != free {
+		t.Fatal("bad-pattern path leaked allocation")
+	}
+}
+
+func TestPatternCost(t *testing.T) {
+	st := figure5State(t)
+	cost, err := PatternCost(st, []int{0, 1, 4, 5}, collective.RD)
+	if err != nil || cost <= 0 {
+		t.Fatalf("PatternCost = %v, %v", cost, err)
+	}
+	if _, err := PatternCost(st, []int{6, 7}, collective.Pattern(99)); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	// Single-node jobs have an empty schedule and zero cost for any pattern.
+	if cost, err := PatternCost(st, []int{6}, collective.Pattern(99)); err != nil || cost != 0 {
+		t.Errorf("single-node cost = %v, %v; want 0, nil", cost, err)
+	}
+}
+
+// Ring schedules repeat one pair set P-1 times; the memoised step cost must
+// equal the naive per-step evaluation and stay fast at scale.
+func TestRingCostMemoization(t *testing.T) {
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 64, Fanouts: []int{8}})
+	st := cluster.New(topo)
+	nodes := make([]int, 256)
+	for i := range nodes {
+		nodes[i] = i * 2
+	}
+	if err := st.Allocate(1, cluster.CommIntensive, nodes); err != nil {
+		t.Fatal(err)
+	}
+	steps := collective.Ring.MustSchedule(len(nodes))
+	fast, err := JobCost(st, nodes, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive evaluation: per-step max without memoisation.
+	naive := 0.0
+	for _, step := range steps {
+		max := 0.0
+		for _, p := range step.Pairs {
+			if h := Hops(st, nodes[p.A], nodes[p.B]); h > max {
+				max = h
+			}
+		}
+		naive += max
+	}
+	if math.Abs(fast-naive) > 1e-9 {
+		t.Fatalf("memoised %v != naive %v", fast, naive)
+	}
+	// Large ring must evaluate quickly (memoisation makes it O(P), not O(P²)).
+	big := make([]int, 512)
+	for i := range big {
+		big[i] = i
+	}
+	bigSteps := collective.Ring.MustSchedule(512)
+	start := time.Now()
+	if _, err := JobCost(st, big, bigSteps); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("Ring(512) cost took %v", d)
+	}
+}

@@ -1,0 +1,609 @@
+// Package daemon is an online, slurmctld-style scheduling service built on
+// the same substrates as the offline simulator: clients submit jobs over a
+// JSON-lines TCP protocol (sbatch/squeue/sinfo/scancel equivalents), the
+// daemon places them with one of the paper's allocation algorithms, and
+// emulated jobs occupy their nodes for the Eq. 7-modified runtime. A
+// configurable time scale compresses virtual time (the paper's frontend
+// emulation runs "for the same duration as their execution times"; a
+// time scale of 1000 turns an hour-long job into 3.6 wall seconds).
+package daemon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/hostlist"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Config parameterises the daemon.
+type Config struct {
+	// Topology is the managed machine (required).
+	Topology *topology.Topology
+	// Algorithm is the node-selection policy (default: adaptive).
+	Algorithm core.Algorithm
+	// TimeScale is virtual seconds per wall-clock second (default 1; use
+	// large values to emulate long traces quickly).
+	TimeScale float64
+	// DisableBackfill switches to strict FIFO.
+	DisableBackfill bool
+	// CostMode selects the communication cost function.
+	CostMode costmodel.Mode
+}
+
+type jobState uint8
+
+const (
+	stateQueued jobState = iota
+	stateRunning
+	stateCompleted
+	stateCancelled
+)
+
+func (s jobState) String() string {
+	switch s {
+	case stateQueued:
+		return "queued"
+	case stateRunning:
+		return "running"
+	case stateCompleted:
+		return "completed"
+	case stateCancelled:
+		return "cancelled"
+	default:
+		return "unknown"
+	}
+}
+
+type jobRecord struct {
+	job     workload.Job
+	name    string
+	pattern collective.Pattern
+	after   int64 // daemon job ID this one waits for (0 = none)
+	state   jobState
+	submit  float64 // virtual time
+	start   float64
+	end     float64
+	place   sim.Placement
+}
+
+// Daemon is the scheduling service. All state is owned by the engine
+// goroutine; external entry points communicate with it over a channel.
+type Daemon struct {
+	cfg      Config
+	st       *cluster.State
+	selector core.Selector
+	defSel   core.Selector
+
+	cmds chan func()
+	quit chan struct{}
+
+	wallBase time.Time
+	timer    *time.Timer
+
+	nextID    int64
+	jobs      map[int64]*jobRecord
+	queue     []*jobRecord
+	running   map[int64]*jobRecord
+	completed []metrics.JobResult
+}
+
+// New builds a daemon and starts its engine goroutine. Call Close to stop
+// it.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("daemon: nil topology")
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("daemon: negative time scale %v", cfg.TimeScale)
+	}
+	// The zero Algorithm value is core.Default, i.e. stock SLURM behaviour.
+	selector, err := core.New(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	defSel, err := core.New(core.Default)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		st:       cluster.New(cfg.Topology),
+		selector: selector,
+		defSel:   defSel,
+		cmds:     make(chan func()),
+		quit:     make(chan struct{}),
+		wallBase: time.Now(),
+		timer:    time.NewTimer(time.Hour),
+		nextID:   1,
+		jobs:     make(map[int64]*jobRecord),
+		running:  make(map[int64]*jobRecord),
+	}
+	if !d.timer.Stop() {
+		<-d.timer.C
+	}
+	go d.engine()
+	return d, nil
+}
+
+// Close stops the engine goroutine. Pending jobs are abandoned.
+func (d *Daemon) Close() {
+	select {
+	case <-d.quit:
+	default:
+		close(d.quit)
+	}
+}
+
+// engine is the single goroutine owning all scheduler state.
+func (d *Daemon) engine() {
+	for {
+		select {
+		case <-d.quit:
+			d.timer.Stop()
+			return
+		case f := <-d.cmds:
+			f()
+		case <-d.timer.C:
+			d.advance()
+			d.schedule()
+			d.rearm()
+		}
+	}
+}
+
+// call runs f on the engine goroutine and returns its response.
+func (d *Daemon) call(f func() Response) Response {
+	ch := make(chan Response, 1)
+	select {
+	case d.cmds <- func() { ch <- f() }:
+	case <-d.quit:
+		return Response{Error: "daemon: shut down"}
+	}
+	select {
+	case r := <-ch:
+		return r
+	case <-d.quit:
+		return Response{Error: "daemon: shut down"}
+	}
+}
+
+// now returns the current virtual time.
+func (d *Daemon) now() float64 {
+	return time.Since(d.wallBase).Seconds() * d.cfg.TimeScale
+}
+
+// advance completes every running job whose virtual end time has passed.
+func (d *Daemon) advance() {
+	v := d.now()
+	for {
+		var next *jobRecord
+		for _, r := range d.running {
+			if r.end <= v && (next == nil || r.end < next.end ||
+				(r.end == next.end && r.job.ID < next.job.ID)) {
+				next = r
+			}
+		}
+		if next == nil {
+			return
+		}
+		d.complete(next)
+	}
+}
+
+func (d *Daemon) complete(r *jobRecord) {
+	delete(d.running, int64(r.job.ID))
+	_ = d.st.Release(r.job.ID)
+	r.state = stateCompleted
+	d.completed = append(d.completed, metrics.JobResult{
+		ID:        int64(r.job.ID),
+		Nodes:     r.job.Nodes,
+		Comm:      r.job.Class == cluster.CommIntensive,
+		Submit:    r.submit,
+		Start:     r.start,
+		End:       r.end,
+		BaseRun:   r.job.Runtime,
+		Exec:      r.place.Exec,
+		CommCost:  r.place.Cost,
+		RefCost:   r.place.RefCost,
+		CostRatio: r.place.Ratio,
+	})
+}
+
+// rearm sets the wake-up timer to the earliest running-job completion.
+func (d *Daemon) rearm() {
+	d.timer.Stop()
+	select {
+	case <-d.timer.C:
+	default:
+	}
+	var earliest float64 = -1
+	for _, r := range d.running {
+		if earliest < 0 || r.end < earliest {
+			earliest = r.end
+		}
+	}
+	if earliest < 0 {
+		return
+	}
+	wall := time.Duration((earliest - d.now()) / d.cfg.TimeScale * float64(time.Second))
+	if wall < 0 {
+		wall = 0
+	}
+	d.timer.Reset(wall)
+}
+
+// eligible reports whether the job's dependency (if any) has finished.
+// Dependants of cancelled jobs become eligible, as with SLURM's afterany.
+func (d *Daemon) eligible(r *jobRecord) bool {
+	if r.after == 0 {
+		return true
+	}
+	dep, ok := d.jobs[r.after]
+	if !ok {
+		return true
+	}
+	return dep.state == stateCompleted || dep.state == stateCancelled
+}
+
+// schedule mirrors the simulator's FIFO + EASY policy over the live queue.
+// Jobs held on a dependency are invisible to the FIFO order (SLURM keeps
+// them pending with reason Dependency while others pass).
+func (d *Daemon) schedule() {
+	v := d.now()
+	// Start eligible jobs from the front; the first eligible job that does
+	// not fit becomes the EASY head.
+	headIdx := -1
+	for i := 0; i < len(d.queue); {
+		r := d.queue[i]
+		if !d.eligible(r) {
+			i++
+			continue
+		}
+		if r.job.Nodes > d.st.FreeTotal() {
+			headIdx = i
+			break
+		}
+		if err := d.startJob(r, v); err != nil {
+			// Deterministic selectors only fail on capacity, which we just
+			// checked; treat anything else as a cancellation with a reason.
+			r.state = stateCancelled
+			r.name = r.name + " (failed: " + err.Error() + ")"
+		}
+		d.queue = append(d.queue[:i], d.queue[i+1:]...)
+	}
+	if headIdx < 0 || d.cfg.DisableBackfill {
+		return
+	}
+	head := d.queue[headIdx]
+	shadow, extra, ok := d.reservation(v, head.job.Nodes)
+	if !ok {
+		// The head cannot run with the currently serviceable nodes (e.g. a
+		// leaf is drained). It is already indefinitely delayed, so
+		// backfilling cannot hurt it: let everything that fits through.
+		shadow, extra = math.Inf(1), d.st.FreeTotal()
+	}
+	for i := headIdx + 1; i < len(d.queue); {
+		r := d.queue[i]
+		if !d.eligible(r) || r.job.Nodes > d.st.FreeTotal() {
+			i++
+			continue
+		}
+		finishesBeforeShadow := v+r.job.Runtime <= shadow
+		fitsExtra := r.job.Nodes <= extra
+		if !finishesBeforeShadow && !fitsExtra {
+			i++
+			continue
+		}
+		if err := d.startJob(r, v); err != nil {
+			r.state = stateCancelled
+		}
+		if !finishesBeforeShadow {
+			extra -= r.job.Nodes
+		}
+		d.queue = append(d.queue[:i], d.queue[i+1:]...)
+	}
+}
+
+func (d *Daemon) reservation(v float64, need int) (shadow float64, extra int, ok bool) {
+	free := d.st.FreeTotal()
+	if need <= free {
+		return v, free - need, true
+	}
+	ends := make([]*jobRecord, 0, len(d.running))
+	for _, r := range d.running {
+		ends = append(ends, r)
+	}
+	sort.Slice(ends, func(a, b int) bool {
+		if ends[a].end != ends[b].end {
+			return ends[a].end < ends[b].end
+		}
+		return ends[a].job.ID < ends[b].job.ID
+	})
+	for _, r := range ends {
+		free += r.job.Nodes
+		if free >= need {
+			return r.end, free - need, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (d *Daemon) startJob(r *jobRecord, v float64) error {
+	pl, err := sim.PlaceJob(d.st, d.selector, d.defSel, r.job, d.cfg.CostMode)
+	if err != nil {
+		return err
+	}
+	if err := d.st.Allocate(r.job.ID, r.job.Class, pl.Nodes); err != nil {
+		return err
+	}
+	r.place = pl
+	r.state = stateRunning
+	r.start = v
+	r.end = v + pl.Exec
+	d.running[int64(r.job.ID)] = r
+	return nil
+}
+
+// info converts a record to its wire form.
+func (d *Daemon) info(r *jobRecord) JobInfo {
+	ji := JobInfo{
+		ID:      int64(r.job.ID),
+		Name:    r.name,
+		Nodes:   r.job.Nodes,
+		Class:   r.job.Class.String(),
+		State:   r.state.String(),
+		After:   r.after,
+		Submit:  r.submit,
+		BaseRun: r.job.Runtime,
+	}
+	if r.job.Class == cluster.CommIntensive {
+		ji.Pattern = r.pattern.String()
+	}
+	if r.state == stateRunning || r.state == stateCompleted {
+		ji.Start = r.start
+		ji.End = r.end
+		ji.Exec = r.place.Exec
+		ji.CostRatio = r.place.Ratio
+		ji.CommCost = r.place.Cost
+		names := make([]string, len(r.place.Nodes))
+		for i, id := range r.place.Nodes {
+			names[i] = d.cfg.Topology.NodeName(id)
+		}
+		ji.NodeList = hostlist.Compress(names)
+	}
+	return ji
+}
+
+// Submit enqueues a job and returns its ID.
+func (d *Daemon) Submit(req Request) Response {
+	return d.call(func() Response {
+		if req.Nodes < 1 || req.Nodes > d.cfg.Topology.NumNodes() {
+			return Response{Error: fmt.Sprintf("nodes %d out of range 1..%d",
+				req.Nodes, d.cfg.Topology.NumNodes())}
+		}
+		if req.Runtime <= 0 {
+			return Response{Error: "runtime must be positive"}
+		}
+		class := cluster.ComputeIntensive
+		switch req.Class {
+		case "", "compute":
+		case "comm":
+			class = cluster.CommIntensive
+		default:
+			return Response{Error: fmt.Sprintf("unknown class %q", req.Class)}
+		}
+		mix := collective.Mix{ComputeFrac: 1}
+		pattern := collective.RD
+		if class == cluster.CommIntensive {
+			share := req.CommShare
+			if share == 0 {
+				share = 0.7
+			}
+			if share < 0 || share > 1 {
+				return Response{Error: fmt.Sprintf("commshare %v out of [0,1]", share)}
+			}
+			if req.Pattern != "" {
+				p, err := collective.ParsePattern(req.Pattern)
+				if err != nil {
+					return Response{Error: err.Error()}
+				}
+				pattern = p
+			}
+			mix = collective.SinglePattern(pattern, share)
+		}
+		if req.After != 0 {
+			if _, ok := d.jobs[req.After]; !ok {
+				return Response{Error: fmt.Sprintf("dependency job %d unknown", req.After)}
+			}
+			if req.After >= d.nextID {
+				return Response{Error: fmt.Sprintf("dependency job %d invalid", req.After)}
+			}
+		}
+		d.advance()
+		id := d.nextID
+		d.nextID++
+		r := &jobRecord{
+			job: workload.Job{
+				ID:      cluster.JobID(id),
+				Submit:  d.now(),
+				Runtime: req.Runtime,
+				Nodes:   req.Nodes,
+				Class:   class,
+				Mix:     mix,
+			},
+			name:    req.Name,
+			pattern: pattern,
+			after:   req.After,
+			state:   stateQueued,
+			submit:  d.now(),
+		}
+		d.jobs[id] = r
+		d.queue = append(d.queue, r)
+		d.schedule()
+		d.rearm()
+		return Response{Ok: true, ID: id}
+	})
+}
+
+// Status reports one job.
+func (d *Daemon) Status(id int64) Response {
+	return d.call(func() Response {
+		d.advance()
+		d.schedule()
+		d.rearm()
+		r, ok := d.jobs[id]
+		if !ok {
+			return Response{Error: fmt.Sprintf("unknown job %d", id)}
+		}
+		ji := d.info(r)
+		return Response{Ok: true, Job: &ji}
+	})
+}
+
+// Cancel removes a queued job or kills a running one.
+func (d *Daemon) Cancel(id int64) Response {
+	return d.call(func() Response {
+		d.advance()
+		r, ok := d.jobs[id]
+		if !ok {
+			return Response{Error: fmt.Sprintf("unknown job %d", id)}
+		}
+		switch r.state {
+		case stateQueued:
+			for i, q := range d.queue {
+				if q == r {
+					d.queue = append(d.queue[:i], d.queue[i+1:]...)
+					break
+				}
+			}
+			r.state = stateCancelled
+		case stateRunning:
+			delete(d.running, id)
+			_ = d.st.Release(r.job.ID)
+			r.state = stateCancelled
+			r.end = d.now()
+		case stateCompleted, stateCancelled:
+			return Response{Error: fmt.Sprintf("job %d already %s", id, r.state)}
+		}
+		d.schedule()
+		d.rearm()
+		return Response{Ok: true, ID: id}
+	})
+}
+
+// Drain marks a node (by name) ineligible for new allocations; a running
+// job keeps it until completion.
+func (d *Daemon) Drain(node string) Response {
+	return d.nodeOp(node, (*cluster.State).Drain)
+}
+
+// Resume returns a drained node (by name) to service.
+func (d *Daemon) Resume(node string) Response {
+	return d.nodeOp(node, (*cluster.State).Resume)
+}
+
+func (d *Daemon) nodeOp(node string, op func(*cluster.State, int) error) Response {
+	return d.call(func() Response {
+		id := d.cfg.Topology.NodeID(node)
+		if id < 0 {
+			return Response{Error: fmt.Sprintf("unknown node %q", node)}
+		}
+		d.advance()
+		if err := op(d.st, id); err != nil {
+			return Response{Error: err.Error()}
+		}
+		d.schedule()
+		d.rearm()
+		return Response{Ok: true}
+	})
+}
+
+// Queue lists queued jobs in FIFO order.
+func (d *Daemon) Queue() Response {
+	return d.call(func() Response {
+		d.advance()
+		d.schedule()
+		d.rearm()
+		resp := Response{Ok: true}
+		for _, r := range d.queue {
+			resp.Jobs = append(resp.Jobs, d.info(r))
+		}
+		return resp
+	})
+}
+
+// Running lists running jobs ordered by ID.
+func (d *Daemon) Running() Response {
+	return d.call(func() Response {
+		d.advance()
+		d.schedule()
+		d.rearm()
+		resp := Response{Ok: true}
+		ids := make([]int64, 0, len(d.running))
+		for id := range d.running {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			resp.Jobs = append(resp.Jobs, d.info(d.running[id]))
+		}
+		return resp
+	})
+}
+
+// Info reports cluster-wide state, sinfo-style.
+func (d *Daemon) Info() Response {
+	return d.call(func() Response {
+		d.advance()
+		d.schedule()
+		d.rearm()
+		resp := Response{
+			Ok:           true,
+			MachineNodes: d.cfg.Topology.NumNodes(),
+			FreeNodes:    d.st.FreeTotal(),
+			DownNodes:    d.st.DownTotal(),
+			Algorithm:    d.cfg.Algorithm.String(),
+			VirtualNow:   d.now(),
+		}
+		for l := 0; l < d.cfg.Topology.NumLeaves(); l++ {
+			resp.Leafs = append(resp.Leafs, LeafInfo{
+				Switch: d.cfg.Topology.Leaves[l].Name,
+				Nodes:  d.cfg.Topology.LeafSize(l),
+				Busy:   d.st.LeafBusy(l),
+				Comm:   d.st.LeafComm(l),
+				Ratio:  d.st.CommRatio(l),
+			})
+		}
+		return resp
+	})
+}
+
+// Stats summarises completed jobs.
+func (d *Daemon) Stats() Response {
+	return d.call(func() Response {
+		d.advance()
+		d.schedule()
+		d.rearm()
+		s := metrics.Summarize(d.completed)
+		return Response{
+			Ok:             true,
+			Completed:      s.Jobs,
+			TotalExecHours: s.TotalExecHours,
+			TotalWaitHours: s.TotalWaitHours,
+			AvgCommCost:    s.AvgCommCost,
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package daemon
+
+import "repro/internal/cluster"
+
+// The wire protocol is JSON Lines over TCP: one request object per line,
+// one response object per line, in order. It is deliberately minimal —
+// enough for an sbatch/squeue/sinfo/scancel-style client — and versioned
+// by the Proto field so future extensions stay compatible.
+
+// ClassComm is the cluster.Class value for communication-intensive jobs,
+// re-exported so protocol clients need not import the cluster package.
+const ClassComm = cluster.CommIntensive
+
+// Request is a client request. Op selects the operation; the other fields
+// are op-specific.
+type Request struct {
+	Op string `json:"op"` // submit, status, queue, running, info, stats, cancel, drain, resume, shutdown
+
+	// submit fields
+	Nodes     int     `json:"nodes,omitempty"`
+	Runtime   float64 `json:"runtime,omitempty"` // seconds
+	Class     string  `json:"class,omitempty"`   // "comm" or "compute"
+	Pattern   string  `json:"pattern,omitempty"` // RD, RHVD, Binomial, Ring
+	CommShare float64 `json:"commshare,omitempty"`
+	Name      string  `json:"name,omitempty"`
+	// After holds a job ID this submission depends on (SLURM
+	// --dependency=afterany): the job stays ineligible until that job
+	// completes or is cancelled.
+	After int64 `json:"after,omitempty"`
+
+	// status / cancel field
+	ID int64 `json:"id,omitempty"`
+
+	// drain / resume field: node name (e.g. "n17")
+	Node string `json:"node,omitempty"`
+}
+
+// JobInfo describes one job in responses.
+type JobInfo struct {
+	ID        int64   `json:"id"`
+	Name      string  `json:"name,omitempty"`
+	Nodes     int     `json:"nodes"`
+	Class     string  `json:"class"`
+	Pattern   string  `json:"pattern,omitempty"`
+	State     string  `json:"state"` // queued, running, completed, cancelled
+	After     int64   `json:"after,omitempty"`
+	Submit    float64 `json:"submit"`          // virtual seconds since daemon start
+	Start     float64 `json:"start,omitempty"` // virtual seconds
+	End       float64 `json:"end,omitempty"`   // virtual seconds
+	Exec      float64 `json:"exec,omitempty"`  // modified runtime (Eq. 7)
+	BaseRun   float64 `json:"baserun,omitempty"`
+	CostRatio float64 `json:"ratio,omitempty"`
+	CommCost  float64 `json:"cost,omitempty"`
+	NodeList  string  `json:"nodelist,omitempty"` // compressed hostlist
+}
+
+// LeafInfo describes one leaf switch in info responses.
+type LeafInfo struct {
+	Switch string  `json:"switch"`
+	Nodes  int     `json:"nodes"`
+	Busy   int     `json:"busy"`
+	Comm   int     `json:"comm"`
+	Ratio  float64 `json:"ratio"` // Eq. 1 communication ratio
+}
+
+// Response is the daemon's reply. Ok is false iff Error is set; the
+// payload fields are op-specific.
+type Response struct {
+	Ok    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	ID    int64      `json:"id,omitempty"`     // submit
+	Job   *JobInfo   `json:"job,omitempty"`    // status
+	Jobs  []JobInfo  `json:"jobs,omitempty"`   // queue, running
+	Leafs []LeafInfo `json:"leaves,omitempty"` // info
+
+	// info fields
+	MachineNodes int     `json:"machine_nodes,omitempty"`
+	FreeNodes    int     `json:"free_nodes,omitempty"`
+	DownNodes    int     `json:"down_nodes,omitempty"`
+	Algorithm    string  `json:"algorithm,omitempty"`
+	VirtualNow   float64 `json:"virtual_now,omitempty"`
+
+	// stats fields
+	Completed      int     `json:"completed,omitempty"`
+	TotalExecHours float64 `json:"total_exec_hours,omitempty"`
+	TotalWaitHours float64 `json:"total_wait_hours,omitempty"`
+	AvgCommCost    float64 `json:"avg_comm_cost,omitempty"`
+}

@@ -1,0 +1,261 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server exposes a Daemon over a JSON-lines TCP protocol.
+type Server struct {
+	d  *Daemon
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer wraps a daemon for network serving.
+func NewServer(d *Daemon) *Server {
+	return &Server{d: d, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts listening on addr (e.g. "127.0.0.1:0") without serving yet.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address (after Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Close. Each connection handles requests
+// sequentially; connections are concurrent with each other (the daemon's
+// engine goroutine serialises state access).
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return fmt.Errorf("daemon: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener, all connections, and the daemon engine.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.d.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), 1<<20)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{Error: "malformed request: " + err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if req.Op == "shutdown" && resp.Ok {
+			go s.Close()
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case "submit":
+		return s.d.Submit(req)
+	case "status":
+		return s.d.Status(req.ID)
+	case "cancel":
+		return s.d.Cancel(req.ID)
+	case "queue":
+		return s.d.Queue()
+	case "running":
+		return s.d.Running()
+	case "info":
+		return s.d.Info()
+	case "stats":
+		return s.d.Stats()
+	case "drain":
+		return s.d.Drain(req.Node)
+	case "resume":
+		return s.d.Resume(req.Node)
+	case "shutdown":
+		return Response{Ok: true}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a thin JSON-lines client for the daemon protocol.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+	mu   sync.Mutex
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads its response.
+func (c *Client) Do(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, fmt.Errorf("daemon: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, err
+	}
+	if !resp.Ok && resp.Error != "" {
+		return resp, fmt.Errorf("daemon: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Submit submits a job and returns its ID.
+func (c *Client) Submit(req Request) (int64, error) {
+	req.Op = "submit"
+	resp, err := c.Do(req)
+	return resp.ID, err
+}
+
+// Status fetches one job's state.
+func (c *Client) Status(id int64) (*JobInfo, error) {
+	resp, err := c.Do(Request{Op: "status", ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(id int64) error {
+	_, err := c.Do(Request{Op: "cancel", ID: id})
+	return err
+}
+
+// Queue lists queued jobs.
+func (c *Client) Queue() ([]JobInfo, error) {
+	resp, err := c.Do(Request{Op: "queue"})
+	return resp.Jobs, err
+}
+
+// Running lists running jobs.
+func (c *Client) Running() ([]JobInfo, error) {
+	resp, err := c.Do(Request{Op: "running"})
+	return resp.Jobs, err
+}
+
+// Info fetches cluster-wide state.
+func (c *Client) Info() (Response, error) {
+	return c.Do(Request{Op: "info"})
+}
+
+// Stats fetches completed-job aggregates.
+func (c *Client) Stats() (Response, error) {
+	return c.Do(Request{Op: "stats"})
+}
+
+// Drain marks a node ineligible for new allocations.
+func (c *Client) Drain(node string) error {
+	_, err := c.Do(Request{Op: "drain", Node: node})
+	return err
+}
+
+// Resume returns a drained node to service.
+func (c *Client) Resume(node string) error {
+	_, err := c.Do(Request{Op: "resume", Node: node})
+	return err
+}
+
+// Shutdown asks the daemon to stop.
+func (c *Client) Shutdown() error {
+	_, err := c.Do(Request{Op: "shutdown"})
+	return err
+}

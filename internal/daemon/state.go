@@ -1,0 +1,265 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// State persistence, mirroring slurmctld's StateSaveLocation: a daemon can
+// snapshot its queue, running set, completed statistics, virtual clock and
+// node states to JSON and be restored from that snapshot after a restart.
+// Restored running jobs keep their exact node allocations and completion
+// times; the virtual clock resumes where it stopped.
+
+const stateVersion = 1
+
+type persistedJob struct {
+	ID        int64   `json:"id"`
+	Name      string  `json:"name,omitempty"`
+	Nodes     int     `json:"nodes"`
+	Runtime   float64 `json:"runtime"`
+	Class     string  `json:"class"`
+	Pattern   string  `json:"pattern,omitempty"`
+	CommShare float64 `json:"commshare,omitempty"`
+	State     string  `json:"state"`
+	After     int64   `json:"after,omitempty"`
+	Submit    float64 `json:"submit"`
+	Start     float64 `json:"start,omitempty"`
+	End       float64 `json:"end,omitempty"`
+	NodeIDs   []int   `json:"node_ids,omitempty"`
+	Exec      float64 `json:"exec,omitempty"`
+	Cost      float64 `json:"cost,omitempty"`
+	RefCost   float64 `json:"ref_cost,omitempty"`
+	Ratio     float64 `json:"ratio,omitempty"`
+}
+
+type persistedState struct {
+	Version    int                 `json:"version"`
+	VirtualNow float64             `json:"virtual_now"`
+	NextID     int64               `json:"next_id"`
+	DownNodes  []string            `json:"down_nodes,omitempty"`
+	Queued     []persistedJob      `json:"queued,omitempty"`
+	Running    []persistedJob      `json:"running,omitempty"`
+	Completed  []metrics.JobResult `json:"completed,omitempty"`
+}
+
+func (d *Daemon) persistJob(r *jobRecord) persistedJob {
+	pj := persistedJob{
+		ID:      int64(r.job.ID),
+		Name:    r.name,
+		Nodes:   r.job.Nodes,
+		Runtime: r.job.Runtime,
+		Class:   r.job.Class.String(),
+		State:   r.state.String(),
+		After:   r.after,
+		Submit:  r.submit,
+		Start:   r.start,
+		End:     r.end,
+	}
+	if r.job.Class == cluster.CommIntensive {
+		pj.Pattern = r.pattern.String()
+		pj.CommShare = r.job.Mix.CommFrac()
+	}
+	if r.state == stateRunning {
+		pj.NodeIDs = append([]int(nil), r.place.Nodes...)
+		pj.Exec = r.place.Exec
+		pj.Cost = r.place.Cost
+		pj.RefCost = r.place.RefCost
+		pj.Ratio = r.place.Ratio
+	}
+	return pj
+}
+
+// SaveState writes a consistent snapshot of the daemon (taken on the
+// engine goroutine) as JSON.
+func (d *Daemon) SaveState(w io.Writer) error {
+	var ps persistedState
+	resp := d.call(func() Response {
+		d.advance()
+		ps = persistedState{
+			Version:    stateVersion,
+			VirtualNow: d.now(),
+			NextID:     d.nextID,
+			Completed:  append([]metrics.JobResult(nil), d.completed...),
+		}
+		for id := 0; id < d.cfg.Topology.NumNodes(); id++ {
+			if d.st.NodeDown(id) {
+				ps.DownNodes = append(ps.DownNodes, d.cfg.Topology.NodeName(id))
+			}
+		}
+		for _, r := range d.queue {
+			ps.Queued = append(ps.Queued, d.persistJob(r))
+		}
+		// Persist running jobs in a deterministic order.
+		for _, ji := range d.runningOrdered() {
+			ps.Running = append(ps.Running, d.persistJob(ji))
+		}
+		return Response{Ok: true}
+	})
+	if !resp.Ok {
+		return fmt.Errorf("daemon: %s", resp.Error)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ps)
+}
+
+// runningOrdered returns running records sorted by job ID (engine
+// goroutine only).
+func (d *Daemon) runningOrdered() []*jobRecord {
+	out := make([]*jobRecord, 0, len(d.running))
+	for _, r := range d.running {
+		out = append(out, r)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].job.ID < out[j-1].job.ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// SaveStateFile snapshots to a file (atomically via rename).
+func (d *Daemon) SaveStateFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := d.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (pj persistedJob) toRecord() (*jobRecord, error) {
+	class := cluster.ComputeIntensive
+	mix := collective.Mix{ComputeFrac: 1}
+	pattern := collective.RD
+	switch pj.Class {
+	case "compute":
+	case "comm":
+		class = cluster.CommIntensive
+		if pj.Pattern != "" {
+			p, err := collective.ParsePattern(pj.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			pattern = p
+		}
+		share := pj.CommShare
+		if share <= 0 || share > 1 {
+			share = 0.7
+		}
+		mix = collective.SinglePattern(pattern, share)
+	default:
+		return nil, fmt.Errorf("daemon: unknown class %q for job %d", pj.Class, pj.ID)
+	}
+	return &jobRecord{
+		job: workload.Job{
+			ID:      cluster.JobID(pj.ID),
+			Submit:  pj.Submit,
+			Runtime: pj.Runtime,
+			Nodes:   pj.Nodes,
+			Class:   class,
+			Mix:     mix,
+		},
+		name:    pj.Name,
+		pattern: pattern,
+		after:   pj.After,
+		submit:  pj.Submit,
+		start:   pj.Start,
+		end:     pj.End,
+	}, nil
+}
+
+// Restore builds a new daemon from a snapshot. The config's topology must
+// match the one the snapshot was taken on (node names are resolved against
+// it).
+func Restore(cfg Config, r io.Reader) (*Daemon, error) {
+	var ps persistedState
+	if err := json.NewDecoder(r).Decode(&ps); err != nil {
+		return nil, fmt.Errorf("daemon: decoding state: %w", err)
+	}
+	if ps.Version != stateVersion {
+		return nil, fmt.Errorf("daemon: state version %d, want %d", ps.Version, stateVersion)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	resp := d.call(func() Response {
+		// Resume the virtual clock where the snapshot stopped.
+		d.wallBase = time.Now().Add(-time.Duration(ps.VirtualNow / d.cfg.TimeScale * float64(time.Second)))
+		d.nextID = ps.NextID
+		d.completed = append([]metrics.JobResult(nil), ps.Completed...)
+		for _, name := range ps.DownNodes {
+			id := d.cfg.Topology.NodeID(name)
+			if id < 0 {
+				return Response{Error: fmt.Sprintf("unknown node %q in snapshot", name)}
+			}
+			if err := d.st.Drain(id); err != nil {
+				return Response{Error: err.Error()}
+			}
+		}
+		for _, pj := range ps.Running {
+			rec, err := pj.toRecord()
+			if err != nil {
+				return Response{Error: err.Error()}
+			}
+			rec.state = stateRunning
+			rec.place.Nodes = append([]int(nil), pj.NodeIDs...)
+			rec.place.Exec = pj.Exec
+			rec.place.Cost = pj.Cost
+			rec.place.RefCost = pj.RefCost
+			rec.place.Ratio = pj.Ratio
+			if err := d.st.Allocate(rec.job.ID, rec.job.Class, rec.place.Nodes); err != nil {
+				return Response{Error: fmt.Sprintf("restoring job %d: %v", pj.ID, err)}
+			}
+			d.jobs[pj.ID] = rec
+			d.running[pj.ID] = rec
+		}
+		for _, pj := range ps.Queued {
+			rec, err := pj.toRecord()
+			if err != nil {
+				return Response{Error: err.Error()}
+			}
+			rec.state = stateQueued
+			d.jobs[pj.ID] = rec
+			d.queue = append(d.queue, rec)
+		}
+		d.advance()
+		d.schedule()
+		d.rearm()
+		return Response{Ok: true}
+	})
+	if !resp.Ok {
+		d.Close()
+		return nil, fmt.Errorf("daemon: %s", resp.Error)
+	}
+	return d, nil
+}
+
+// RestoreFile restores from a snapshot file.
+func RestoreFile(cfg Config, path string) (*Daemon, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Restore(cfg, f)
+}

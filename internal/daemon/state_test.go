@@ -1,0 +1,168 @@
+package daemon
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	cfg := Config{Topology: topology.PaperExample(), Algorithm: core.Adaptive, TimeScale: 100}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One running job, one queued job, one drained node, one completion.
+	fast := d.Submit(Request{Nodes: 2, Runtime: 0.5, Class: "compute", Name: "done"})
+	if !fast.Ok {
+		t.Fatal(fast.Error)
+	}
+	waitState(t, d, fast.ID, "completed")
+	if resp := d.Drain("n7"); !resp.Ok {
+		t.Fatal(resp.Error)
+	}
+	long := d.Submit(Request{Nodes: 5, Runtime: 300, Class: "comm", Pattern: "RHVD", Name: "runner"})
+	if !long.Ok {
+		t.Fatal(long.Error)
+	}
+	blocked := d.Submit(Request{Nodes: 3, Runtime: 60, Class: "compute", Name: "waiter"})
+	if !blocked.Ok {
+		t.Fatal(blocked.Error)
+	}
+	if st := d.Status(blocked.ID); st.Job.State != "queued" {
+		t.Fatalf("setup: blocked job is %s", st.Job.State)
+	}
+	runningBefore := d.Status(long.ID)
+
+	var buf bytes.Buffer
+	if err := d.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	d2, err := Restore(cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d2.Close)
+
+	// Completed stats survived.
+	if stats := d2.Stats(); stats.Completed != 1 {
+		t.Fatalf("restored completed = %d, want 1", stats.Completed)
+	}
+	// The running job kept its allocation.
+	after := d2.Status(long.ID)
+	if after.Job.State != "running" {
+		t.Fatalf("restored job state = %s", after.Job.State)
+	}
+	if after.Job.NodeList != runningBefore.Job.NodeList {
+		t.Fatalf("node list changed: %q vs %q", after.Job.NodeList, runningBefore.Job.NodeList)
+	}
+	// The queued job is still queued (n7 down, 5 busy: only 2 free < 3).
+	if st := d2.Status(blocked.ID); st.Job.State != "queued" {
+		t.Fatalf("restored queued job state = %s", st.Job.State)
+	}
+	// The drained node survived.
+	if info := d2.Info(); info.DownNodes != 1 {
+		t.Fatalf("restored down nodes = %d, want 1", info.DownNodes)
+	}
+	// New submissions continue the ID sequence.
+	next := d2.Submit(Request{Nodes: 1, Runtime: 10, Class: "compute"})
+	if !next.Ok || next.ID <= blocked.ID {
+		t.Fatalf("restored next ID = %d (after %d)", next.ID, blocked.ID)
+	}
+}
+
+// A restored daemon completes a restored running job at its original
+// virtual end time.
+func TestRestoreCompletesRunningJobs(t *testing.T) {
+	cfg := Config{Topology: topology.PaperExample(), TimeScale: 1000}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := d.Submit(Request{Nodes: 4, Runtime: 2, Class: "compute"})
+	if !id.Ok {
+		t.Fatal(id.Error)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d2, err := Restore(cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d2.Close)
+	waitState(t, d2, id.ID, "completed")
+	if info := d2.Info(); info.FreeNodes != 8 {
+		t.Fatalf("free = %d after restored completion", info.FreeNodes)
+	}
+}
+
+func TestSaveStateFile(t *testing.T) {
+	cfg := Config{Topology: topology.PaperExample(), TimeScale: 10}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	if resp := d.Submit(Request{Nodes: 2, Runtime: 100, Class: "compute"}); !resp.Ok {
+		t.Fatal(resp.Error)
+	}
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := d.SaveStateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := RestoreFile(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Close()
+	if _, err := RestoreFile(cfg, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing state file accepted")
+	}
+}
+
+func TestRestoreRejectsBadState(t *testing.T) {
+	cfg := Config{Topology: topology.PaperExample()}
+	if _, err := Restore(cfg, strings.NewReader("not json")); err == nil {
+		t.Error("garbage state accepted")
+	}
+	if _, err := Restore(cfg, strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Restore(cfg, strings.NewReader(
+		`{"version":1,"down_nodes":["bogus"]}`)); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, err := Restore(cfg, strings.NewReader(
+		`{"version":1,"running":[{"id":1,"nodes":2,"runtime":10,"class":"weird"}]}`)); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := Restore(cfg, strings.NewReader(
+		`{"version":1,"running":[{"id":1,"nodes":2,"runtime":10,"class":"compute","node_ids":[0,99]}]}`)); err == nil {
+		t.Error("out-of-range restored allocation accepted")
+	}
+}
+
+func waitState(t *testing.T, d *Daemon, id int64, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := d.Status(id)
+		if st.Job != nil && st.Job.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d never reached %s: %+v", id, want, st.Job)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// quickOpts shrinks the experiments to test scale while keeping the
+// qualitative shape checks meaningful.
+func quickOpts() Options {
+	return Options{
+		Jobs:           200,
+		IndividualJobs: 40,
+		Seed:           1,
+		CommFraction:   0.9,
+		CommShare:      0.7,
+		Machines:       []workload.Preset{workload.Theta},
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	res, err := Table3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // 1 machine × 2 patterns
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Cells) != 4 {
+			t.Fatalf("row %s/%v has %d cells", row.Machine, row.Pattern, len(row.Cells))
+		}
+		for alg, c := range row.Cells {
+			if c.ExecHours <= 0 {
+				t.Errorf("%s/%v/%v: exec %v", row.Machine, row.Pattern, alg, c.ExecHours)
+			}
+		}
+	}
+	if issues := res.Check(); len(issues) != 0 {
+		t.Errorf("shape violations: %v", issues)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "Theta") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestFigure6Quick(t *testing.T) {
+	res, err := Figure6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 { // 1 machine × sets A-E
+		t.Fatalf("%d points, want 5", len(res.Points))
+	}
+	if issues := res.Check(); len(issues) != 0 {
+		t.Errorf("shape violations: %v", issues)
+	}
+	if !strings.Contains(res.Format(), "Figure 6") {
+		t.Error("format missing title")
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	res, err := Table4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.JobsEvaluated == 0 {
+			t.Fatalf("%s/%v evaluated no jobs", row.Machine, row.Pattern)
+		}
+	}
+	if issues := res.Check(); len(issues) != 0 {
+		t.Errorf("shape violations: %v", issues)
+	}
+	if !strings.Contains(res.Format(), "Table 4") {
+		t.Error("format missing title")
+	}
+}
+
+func TestFigure7Quick(t *testing.T) {
+	res, err := Figure7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JobIDs) == 0 {
+		t.Fatal("no jobs in series")
+	}
+	for _, alg := range []core.Algorithm{core.Default, core.Greedy, core.Balanced, core.Adaptive} {
+		if len(res.Continuous[alg]) != len(res.JobIDs) || len(res.Individual[alg]) != len(res.JobIDs) {
+			t.Fatalf("series length mismatch for %v", alg)
+		}
+	}
+	cont, ind := res.MaxReductionPct()
+	if cont < 0 || ind < 0 {
+		t.Errorf("max reductions %v/%v negative", cont, ind)
+	}
+	if !strings.Contains(res.Format(), "Figure 7") {
+		t.Error("format missing title")
+	}
+}
+
+func TestFigure8Quick(t *testing.T) {
+	res, err := Figure8(quickOpts(), collective.Binomial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 {
+		t.Fatalf("%d series, want 1", len(res.Series))
+	}
+	s := res.Series[0]
+	nonEmpty := 0
+	for _, b := range s.Buckets[core.Default] {
+		if b.Jobs > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("no populated cost buckets")
+	}
+	if issues := res.Check(); len(issues) != 0 {
+		t.Errorf("shape violations: %v", issues)
+	}
+	if !strings.Contains(res.Format(), "Figure 8") {
+		t.Error("format missing title")
+	}
+}
+
+func TestFigure9Quick(t *testing.T) {
+	o := quickOpts()
+	res, err := Figure9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(res.Points))
+	}
+	if issues := res.Check(); len(issues) != 0 {
+		t.Errorf("shape violations: %v", issues)
+	}
+	if !strings.Contains(res.Format(), "Figure 9") {
+		t.Error("format missing title")
+	}
+}
+
+func TestFigure1Quick(t *testing.T) {
+	res, err := Figure1(Figure1Options{Duration: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterTimes) == 0 || len(res.J2Windows) == 0 {
+		t.Fatalf("empty series: %d iters, %d windows", len(res.IterTimes), len(res.J2Windows))
+	}
+	if issues := res.Check(); len(issues) != 0 {
+		t.Errorf("shape violations: %v", issues)
+	}
+	if !strings.Contains(res.Format(), "correlation") {
+		t.Error("format missing correlation")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Jobs != 1000 || o.IndividualJobs != 200 || o.CommFraction != 0.9 ||
+		o.CommShare != 0.7 || len(o.Machines) != 3 || o.Parallelism < 1 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	f := Figure1Options{}.withDefaults()
+	if f.MessageBytes != 1e6 || f.Duration != 60 || f.J2Period != 15 || f.J2Iterations != 40 {
+		t.Fatalf("figure1 defaults wrong: %+v", f)
+	}
+}
+
+func TestFutureWorkQuick(t *testing.T) {
+	res, err := FutureWork(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	if issues := res.Check(); len(issues) != 0 {
+		t.Errorf("shape violations: %v", issues)
+	}
+	if !strings.Contains(res.Format(), "ring/stencil") {
+		t.Error("format missing title")
+	}
+}

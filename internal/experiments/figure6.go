@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Figure6Point is the percentage reduction in total execution time versus
+// the default algorithm for one (machine, experiment set, algorithm).
+type Figure6Point struct {
+	Machine string
+	Set     string // A..E
+	// ReductionPct maps algorithm -> % execution time reduction vs default.
+	ReductionPct map[core.Algorithm]float64
+}
+
+// Figure6Result reproduces Figure 6 (Theta) and the §6.2 text numbers for
+// Intrepid and Mira: execution-time reduction across the compute/
+// communication mixes A–E with 90% communication-intensive jobs.
+type Figure6Result struct {
+	Points []Figure6Point
+}
+
+// Figure6 runs the experiment over the configured machines.
+func Figure6(o Options) (*Figure6Result, error) {
+	o = o.withDefaults()
+	var mu sync.Mutex
+	exec := make(map[runKey]float64)
+	var thunks []func() error
+	algs := algColumns // includes default (the baseline)
+	for _, preset := range o.Machines {
+		preset := preset
+		topo := preset.NewTopology()
+		for _, set := range collective.ExperimentSets {
+			set := set
+			for _, alg := range algs {
+				alg := alg
+				thunks = append(thunks, func() error {
+					res, err := continuousRun(o, preset, topo, o.CommFraction, set, alg)
+					if err != nil {
+						return fmt.Errorf("figure6 %s/%s/%v: %w", preset.Name, set.Name, alg, err)
+					}
+					mu.Lock()
+					exec[runKey{preset.Name + "/" + set.Name, 0, alg}] = res.Summary.TotalExecHours
+					mu.Unlock()
+					return nil
+				})
+			}
+		}
+	}
+	if err := runAll(o.Parallelism, thunks); err != nil {
+		return nil, err
+	}
+	out := &Figure6Result{}
+	for _, preset := range o.Machines {
+		for _, set := range collective.ExperimentSets {
+			key := preset.Name + "/" + set.Name
+			base := exec[runKey{key, 0, core.Default}]
+			p := Figure6Point{Machine: preset.Name, Set: set.Name,
+				ReductionPct: make(map[core.Algorithm]float64, 3)}
+			for _, alg := range []core.Algorithm{core.Greedy, core.Balanced, core.Adaptive} {
+				p.ReductionPct[alg] = metrics.ImprovementPct(base, exec[runKey{key, 0, alg}])
+			}
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out, nil
+}
+
+// Format renders the figure's series as a table: one row per machine ×
+// experiment set.
+func (r *Figure6Result) Format() string {
+	header := []string{"Machine", "Set", "Greedy %", "Balanced %", "Adaptive %"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Machine, p.Set,
+			fmt.Sprintf("%.2f", p.ReductionPct[core.Greedy]),
+			fmt.Sprintf("%.2f", p.ReductionPct[core.Balanced]),
+			fmt.Sprintf("%.2f", p.ReductionPct[core.Adaptive]),
+		})
+	}
+	return formatTable("Figure 6: % reduction in execution time across mixes A-E (90% comm jobs)",
+		header, rows)
+}
+
+// Check verifies the §6.2 claims: gains grow with communication ratio
+// within the same pattern family (A < C and D < E for adaptive), and
+// balanced/adaptive never lose to the default.
+func (r *Figure6Result) Check() []string {
+	var issues []string
+	byKey := make(map[string]Figure6Point, len(r.Points))
+	for _, p := range r.Points {
+		byKey[p.Machine+"/"+p.Set] = p
+	}
+	for _, p := range r.Points {
+		for _, alg := range []core.Algorithm{core.Balanced, core.Adaptive} {
+			if p.ReductionPct[alg] < -0.5 {
+				issues = append(issues, fmt.Sprintf("%s/%s: %v reduction %.2f%% negative",
+					p.Machine, p.Set, alg, p.ReductionPct[alg]))
+			}
+		}
+	}
+	machines := map[string]bool{}
+	for _, p := range r.Points {
+		machines[p.Machine] = true
+	}
+	for m := range machines {
+		a, okA := byKey[m+"/A"]
+		c, okC := byKey[m+"/C"]
+		if okA && okC && c.ReductionPct[core.Adaptive] < a.ReductionPct[core.Adaptive] {
+			issues = append(issues, fmt.Sprintf(
+				"%s: adaptive gain did not grow with comm ratio (A %.2f%% vs C %.2f%%)",
+				m, a.ReductionPct[core.Adaptive], c.ReductionPct[core.Adaptive]))
+		}
+		d, okD := byKey[m+"/D"]
+		e, okE := byKey[m+"/E"]
+		if okD && okE && e.ReductionPct[core.Adaptive] < d.ReductionPct[core.Adaptive] {
+			issues = append(issues, fmt.Sprintf(
+				"%s: adaptive gain did not grow from D %.2f%% to E %.2f%%",
+				m, d.ReductionPct[core.Adaptive], e.ReductionPct[core.Adaptive]))
+		}
+	}
+	return issues
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Figure8Series is one machine's communication-cost-by-node-range series
+// under one algorithm.
+type Figure8Series struct {
+	Machine string
+	Pattern collective.Pattern
+	// Buckets maps algorithm -> mean Eq. 6 cost per requested-node range.
+	Buckets map[core.Algorithm][]metrics.Bucket
+	// AvgReductionPct maps algorithm -> average % cost reduction vs default
+	// over all comm jobs (the §6.4 text numbers).
+	AvgReductionPct map[core.Algorithm]float64
+}
+
+// Figure8Result reproduces Figure 8 (binomial pattern) and, when invoked
+// per pattern, the §6.4 cost-reduction numbers for RD and RHVD.
+type Figure8Result struct {
+	Series []Figure8Series
+}
+
+// Figure8 runs the experiment with the given pattern (the figure uses
+// Binomial; §6.4's text also reports RD and RHVD).
+func Figure8(o Options, pattern collective.Pattern) (*Figure8Result, error) {
+	o = o.withDefaults()
+	type cell struct {
+		buckets []metrics.Bucket
+		avgCost float64
+	}
+	var mu sync.Mutex
+	cells := make(map[runKey]cell)
+	var thunks []func() error
+	for _, preset := range o.Machines {
+		preset := preset
+		topo := preset.NewTopology()
+		boundaries := metrics.Pow2Boundaries(preset.MaxJobNodes)
+		for _, alg := range algColumns {
+			alg := alg
+			thunks = append(thunks, func() error {
+				res, err := continuousRun(o, preset, topo, o.CommFraction,
+					collective.SinglePattern(pattern, o.CommShare), alg)
+				if err != nil {
+					return fmt.Errorf("figure8 %s/%v: %w", preset.Name, alg, err)
+				}
+				c := cell{buckets: metrics.BucketByNodes(res.Jobs, boundaries)}
+				n := 0
+				for _, jr := range res.Jobs {
+					if jr.Comm && jr.Nodes > 1 {
+						c.avgCost += jr.CommCost
+						n++
+					}
+				}
+				if n > 0 {
+					c.avgCost /= float64(n)
+				}
+				mu.Lock()
+				cells[runKey{preset.Name, pattern, alg}] = c
+				mu.Unlock()
+				return nil
+			})
+		}
+	}
+	if err := runAll(o.Parallelism, thunks); err != nil {
+		return nil, err
+	}
+	out := &Figure8Result{}
+	for _, preset := range o.Machines {
+		s := Figure8Series{Machine: preset.Name, Pattern: pattern,
+			Buckets:         make(map[core.Algorithm][]metrics.Bucket, len(algColumns)),
+			AvgReductionPct: make(map[core.Algorithm]float64, 3),
+		}
+		base := cells[runKey{preset.Name, pattern, core.Default}].avgCost
+		for _, alg := range algColumns {
+			c := cells[runKey{preset.Name, pattern, alg}]
+			s.Buckets[alg] = c.buckets
+			if alg != core.Default {
+				s.AvgReductionPct[alg] = metrics.ImprovementPct(base, c.avgCost)
+			}
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// Format renders one table per machine: mean communication cost per node
+// range under each algorithm, plus the average reductions.
+func (r *Figure8Result) Format() string {
+	var out string
+	for _, s := range r.Series {
+		header := []string{"Nodes", "Default", "Greedy", "Balanced", "Adaptive"}
+		var rows [][]string
+		defBuckets := s.Buckets[core.Default]
+		for bi, b := range defBuckets {
+			if b.Jobs == 0 {
+				continue
+			}
+			row := []string{b.Label()}
+			for _, alg := range algColumns {
+				row = append(row, fmt.Sprintf("%.1f", s.Buckets[alg][bi].Mean))
+			}
+			rows = append(rows, row)
+		}
+		out += formatTable(
+			fmt.Sprintf("Figure 8 (%s, %v): mean communication cost (Eq. 6) by requested nodes",
+				s.Machine, s.Pattern),
+			header, rows)
+		out += fmt.Sprintf("avg cost reduction vs default: greedy %.2f%%, balanced %.2f%%, adaptive %.2f%%\n\n",
+			s.AvgReductionPct[core.Greedy], s.AvgReductionPct[core.Balanced], s.AvgReductionPct[core.Adaptive])
+	}
+	return out
+}
+
+// Check verifies the §6.4 claim that the proposed algorithms have lower
+// average communication cost than the default.
+func (r *Figure8Result) Check() []string {
+	var issues []string
+	for _, s := range r.Series {
+		for _, alg := range []core.Algorithm{core.Balanced, core.Adaptive} {
+			if s.AvgReductionPct[alg] < 0 {
+				issues = append(issues, fmt.Sprintf("%s: %v average cost reduction %.2f%% negative",
+					s.Machine, alg, s.AvgReductionPct[alg]))
+			}
+		}
+	}
+	return issues
+}

@@ -1,0 +1,161 @@
+// Package export renders simulation and experiment results as CSV and JSON
+// for downstream plotting — the artefacts a reproduction pipeline feeds to
+// gnuplot/matplotlib to redraw the paper's figures.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// JobsCSV writes one row per job of a run: the per-job quantities behind
+// Figures 7 and 8.
+func JobsCSV(w io.Writer, res *sim.Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"job_id", "nodes", "class", "submit_s", "start_s", "end_s",
+		"wait_s", "base_runtime_s", "exec_s", "cost_ratio", "comm_cost", "ref_cost"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, jr := range res.Jobs {
+		class := "compute"
+		if jr.Comm {
+			class = "comm"
+		}
+		row := []string{
+			strconv.FormatInt(jr.ID, 10),
+			strconv.Itoa(jr.Nodes),
+			class,
+			f(jr.Submit), f(jr.Start), f(jr.End),
+			f(jr.Wait()), f(jr.BaseRun), f(jr.Exec),
+			f(jr.CostRatio), f(jr.CommCost), f(jr.RefCost),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SummaryCSV writes one row per run: the aggregates behind Table 3 and
+// Figure 9.
+func SummaryCSV(w io.Writer, results []*sim.Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"algorithm", "jobs", "total_exec_hours", "total_wait_hours",
+		"avg_wait_hours", "avg_turnaround_hours", "total_node_hours",
+		"avg_comm_cost", "makespan_hours"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, res := range results {
+		s := res.Summary
+		row := []string{
+			res.Algorithm.String(),
+			strconv.Itoa(s.Jobs),
+			f(s.TotalExecHours), f(s.TotalWaitHours), f(s.AvgWaitHours),
+			f(s.AvgTurnaroundHours), f(s.TotalNodeHours),
+			f(s.AvgCommCost), f(s.MakespanHours),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// runJSON is the JSON shape of one run.
+type runJSON struct {
+	Algorithm string              `json:"algorithm"`
+	Summary   metrics.Summary     `json:"summary"`
+	Jobs      []metrics.JobResult `json:"jobs,omitempty"`
+}
+
+// ResultJSON writes a run (summary plus, when withJobs, every per-job
+// record) as indented JSON.
+func ResultJSON(w io.Writer, res *sim.Result, withJobs bool) error {
+	out := runJSON{Algorithm: res.Algorithm.String(), Summary: res.Summary}
+	if withJobs {
+		out.Jobs = res.Jobs
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ComparisonJSON writes several runs keyed by algorithm, with percentage
+// improvements over the first (baseline) run.
+func ComparisonJSON(w io.Writer, results []*sim.Result) error {
+	if len(results) == 0 {
+		return fmt.Errorf("export: no results")
+	}
+	type entry struct {
+		Algorithm     string          `json:"algorithm"`
+		Summary       metrics.Summary `json:"summary"`
+		ExecImprovPct float64         `json:"exec_improvement_pct"`
+		WaitImprovPct float64         `json:"wait_improvement_pct"`
+		TATImprovPct  float64         `json:"turnaround_improvement_pct"`
+	}
+	base := results[0].Summary
+	var out []entry
+	for _, res := range results {
+		out = append(out, entry{
+			Algorithm:     res.Algorithm.String(),
+			Summary:       res.Summary,
+			ExecImprovPct: metrics.ImprovementPct(base.TotalExecHours, res.Summary.TotalExecHours),
+			WaitImprovPct: metrics.ImprovementPct(base.TotalWaitHours, res.Summary.TotalWaitHours),
+			TATImprovPct:  metrics.ImprovementPct(base.AvgTurnaroundHours, res.Summary.AvgTurnaroundHours),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// BucketsCSV writes Figure 8-style cost buckets: one row per node range,
+// one column per algorithm.
+func BucketsCSV(w io.Writer, buckets map[core.Algorithm][]metrics.Bucket,
+	order []core.Algorithm) error {
+	cw := csv.NewWriter(w)
+	header := []string{"node_range"}
+	for _, alg := range order {
+		header = append(header, alg.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	ref := buckets[order[0]]
+	for bi, b := range ref {
+		if b.Jobs == 0 {
+			continue
+		}
+		row := []string{b.Label()}
+		for _, alg := range order {
+			series := buckets[alg]
+			if bi < len(series) {
+				row = append(row, f(series[bi].Mean))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }

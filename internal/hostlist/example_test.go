@@ -1,0 +1,24 @@
+package hostlist_test
+
+import (
+	"fmt"
+
+	"repro/internal/hostlist"
+)
+
+func ExampleExpand() {
+	names, _ := hostlist.Expand("n[0-2],gpu[01-02]")
+	fmt.Println(names)
+	// Output: [n0 n1 n2 gpu01 gpu02]
+}
+
+func ExampleCompress() {
+	fmt.Println(hostlist.Compress([]string{"n3", "n1", "n2", "n7", "login"}))
+	// Output: n[1-3,7],login
+}
+
+func ExampleCount() {
+	n, _ := hostlist.Count("node[000-099],spare[0-3]")
+	fmt.Println(n)
+	// Output: 104
+}

@@ -1,0 +1,57 @@
+package hostlist
+
+import "testing"
+
+// FuzzExpand checks that Expand never panics, that Count always agrees
+// with the expansion length, and that compressing the output re-expands to
+// the same set.
+func FuzzExpand(f *testing.F) {
+	for _, seed := range []string{
+		"n[0-3]", "n0", "a[1-2],b5", "node[001-003,007]", "x[0-0]",
+		"n[", "n]", "n[0-", "n[0-3],m[9]", "p[00-10]q", ",", "[]",
+		"n[5-3]", "n[1,2,3]", "a,b,c", "n[0-1023]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		if len(expr) > 256 {
+			return // bound expansion work
+		}
+		names, err := Expand(expr)
+		if err != nil {
+			return
+		}
+		if len(names) > 1<<16 {
+			return
+		}
+		n, err := Count(expr)
+		if err != nil {
+			t.Fatalf("Expand ok but Count failed for %q: %v", expr, err)
+		}
+		if n != len(names) {
+			t.Fatalf("Count(%q) = %d, Expand produced %d", expr, n, len(names))
+		}
+		// Deduplicate before the round trip: Compress collapses repeats.
+		set := make(map[string]bool, len(names))
+		var unique []string
+		for _, name := range names {
+			if !set[name] {
+				set[name] = true
+				unique = append(unique, name)
+			}
+		}
+		back, err := Expand(Compress(unique))
+		if err != nil {
+			t.Fatalf("re-expand of Compress(%q) failed: %v", expr, err)
+		}
+		if len(back) != len(unique) {
+			t.Fatalf("round trip of %q changed cardinality: %d -> %d",
+				expr, len(unique), len(back))
+		}
+		for _, name := range back {
+			if !set[name] {
+				t.Fatalf("round trip of %q invented %q", expr, name)
+			}
+		}
+	})
+}

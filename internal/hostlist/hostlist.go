@@ -1,0 +1,262 @@
+// Package hostlist implements SLURM-style hostlist expressions.
+//
+// A hostlist expression is a compact notation for a set of host names that
+// share a common prefix, e.g. "n[0-3]" for n0,n1,n2,n3 or
+// "node[001-003,007]" for node001,node002,node003,node007. Comma-separated
+// expressions may be combined: "a[1-2],b5". SLURM's topology.conf uses these
+// expressions to list the nodes (or child switches) attached to a switch,
+// so this package underpins the topology parser.
+package hostlist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expand parses a hostlist expression and returns the individual host names
+// in the order they appear in the expression.
+//
+// Supported grammar (a subset of SLURM's, sufficient for topology.conf):
+//
+//	expr     := item ("," item)*
+//	item     := name | prefix "[" ranges "]" suffix?
+//	ranges   := range ("," range)*
+//	range    := number | number "-" number
+//
+// Numbers may be zero-padded; the padding width of the lower bound is
+// preserved in the generated names (as SLURM does).
+func Expand(expr string) ([]string, error) {
+	if strings.TrimSpace(expr) == "" {
+		return nil, nil
+	}
+	var out []string
+	items, err := splitTop(expr)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range items {
+		names, err := expandItem(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, names...)
+	}
+	return out, nil
+}
+
+// MustExpand is Expand but panics on malformed input. It is intended for
+// tests and for expressions built programmatically.
+func MustExpand(expr string) []string {
+	names, err := Expand(expr)
+	if err != nil {
+		panic(err)
+	}
+	return names
+}
+
+// Count returns the number of hosts an expression expands to without
+// materialising the full list.
+func Count(expr string) (int, error) {
+	if strings.TrimSpace(expr) == "" {
+		return 0, nil
+	}
+	items, err := splitTop(expr)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, item := range items {
+		open := strings.IndexByte(item, '[')
+		if open < 0 {
+			if item == "" {
+				return 0, fmt.Errorf("hostlist: empty item in %q", item)
+			}
+			total++
+			continue
+		}
+		closeIdx := strings.IndexByte(item, ']')
+		if closeIdx < open {
+			return 0, fmt.Errorf("hostlist: unbalanced brackets in %q", item)
+		}
+		if strings.ContainsAny(item[closeIdx+1:], "[]") {
+			return 0, fmt.Errorf("hostlist: multiple bracket groups in %q", item)
+		}
+		ranges := item[open+1 : closeIdx]
+		for _, r := range strings.Split(ranges, ",") {
+			lo, hi, _, err := parseRange(r)
+			if err != nil {
+				return 0, err
+			}
+			total += hi - lo + 1
+		}
+	}
+	return total, nil
+}
+
+// splitTop splits a hostlist expression on commas that are not inside
+// brackets.
+func splitTop(expr string) ([]string, error) {
+	var items []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(expr); i++ {
+		switch expr[i] {
+		case '[':
+			depth++
+			if depth > 1 {
+				return nil, fmt.Errorf("hostlist: nested brackets in %q", expr)
+			}
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("hostlist: unbalanced brackets in %q", expr)
+			}
+		case ',':
+			if depth == 0 {
+				items = append(items, strings.TrimSpace(expr[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("hostlist: unbalanced brackets in %q", expr)
+	}
+	items = append(items, strings.TrimSpace(expr[start:]))
+	return items, nil
+}
+
+func expandItem(item string) ([]string, error) {
+	if item == "" {
+		return nil, fmt.Errorf("hostlist: empty item")
+	}
+	open := strings.IndexByte(item, '[')
+	if open < 0 {
+		return []string{item}, nil
+	}
+	closeIdx := strings.IndexByte(item, ']')
+	if closeIdx < open {
+		return nil, fmt.Errorf("hostlist: unbalanced brackets in %q", item)
+	}
+	prefix := item[:open]
+	suffix := item[closeIdx+1:]
+	if strings.ContainsAny(suffix, "[]") {
+		return nil, fmt.Errorf("hostlist: multiple bracket groups in %q", item)
+	}
+	ranges := item[open+1 : closeIdx]
+	if ranges == "" {
+		return nil, fmt.Errorf("hostlist: empty range in %q", item)
+	}
+	var out []string
+	for _, r := range strings.Split(ranges, ",") {
+		lo, hi, width, err := parseRange(r)
+		if err != nil {
+			return nil, fmt.Errorf("hostlist: %v in %q", err, item)
+		}
+		for v := lo; v <= hi; v++ {
+			out = append(out, fmt.Sprintf("%s%0*d%s", prefix, width, v, suffix))
+		}
+	}
+	return out, nil
+}
+
+// parseRange parses "3" or "3-7", returning lo, hi and the zero-padding
+// width of the lower bound.
+func parseRange(r string) (lo, hi, width int, err error) {
+	r = strings.TrimSpace(r)
+	dash := strings.IndexByte(r, '-')
+	loStr, hiStr := r, r
+	if dash >= 0 {
+		loStr, hiStr = r[:dash], r[dash+1:]
+	}
+	lo, err = strconv.Atoi(loStr)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad range bound %q", loStr)
+	}
+	hi, err = strconv.Atoi(hiStr)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad range bound %q", hiStr)
+	}
+	if hi < lo {
+		return 0, 0, 0, fmt.Errorf("descending range %q", r)
+	}
+	width = 1
+	if len(loStr) > 1 && loStr[0] == '0' {
+		width = len(loStr)
+	}
+	return lo, hi, width, nil
+}
+
+// Compress renders a set of host names as a compact hostlist expression.
+// Names sharing a prefix with a trailing integer are folded into bracket
+// ranges; everything else is emitted verbatim. The output lists prefixes in
+// sorted order and numeric ranges ascending, so it is deterministic.
+func Compress(names []string) string {
+	type numbered struct {
+		value int
+		width int
+	}
+	groups := make(map[string][]numbered)
+	var plain []string
+	var prefixOrder []string
+	for _, name := range names {
+		prefix, numStr := splitTrailingDigits(name)
+		if numStr == "" {
+			plain = append(plain, name)
+			continue
+		}
+		v, err := strconv.Atoi(numStr)
+		if err != nil {
+			plain = append(plain, name)
+			continue
+		}
+		w := 1
+		if len(numStr) > 1 && numStr[0] == '0' {
+			w = len(numStr)
+		}
+		if _, ok := groups[prefix]; !ok {
+			prefixOrder = append(prefixOrder, prefix)
+		}
+		groups[prefix] = append(groups[prefix], numbered{v, w})
+	}
+	sort.Strings(prefixOrder)
+	sort.Strings(plain)
+
+	var parts []string
+	for _, prefix := range prefixOrder {
+		nums := groups[prefix]
+		sort.Slice(nums, func(i, j int) bool { return nums[i].value < nums[j].value })
+		var ranges []string
+		for i := 0; i < len(nums); {
+			j := i
+			for j+1 < len(nums) &&
+				nums[j+1].value == nums[j].value+1 &&
+				nums[j+1].width == nums[i].width {
+				j++
+			}
+			lo, hi, w := nums[i].value, nums[j].value, nums[i].width
+			if lo == hi {
+				ranges = append(ranges, fmt.Sprintf("%0*d", w, lo))
+			} else {
+				ranges = append(ranges, fmt.Sprintf("%0*d-%0*d", w, lo, w, hi))
+			}
+			i = j + 1
+		}
+		if len(ranges) == 1 && !strings.Contains(ranges[0], "-") {
+			parts = append(parts, prefix+ranges[0])
+		} else {
+			parts = append(parts, prefix+"["+strings.Join(ranges, ",")+"]")
+		}
+	}
+	parts = append(parts, plain...)
+	return strings.Join(parts, ",")
+}
+
+func splitTrailingDigits(s string) (prefix, digits string) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	return s[:i], s[i:]
+}

@@ -1,0 +1,186 @@
+package ioaware
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func newTracker(t *testing.T) *Tracker {
+	t.Helper()
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 8, Fanouts: []int{3}})
+	return NewTracker(cluster.New(topo))
+}
+
+func TestTrackerCounts(t *testing.T) {
+	tr := newTracker(t)
+	if err := tr.Allocate(1, cluster.ComputeIntensive, true, []int{0, 1, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.LeafIO(0) != 2 || tr.LeafIO(1) != 1 || tr.LeafIO(2) != 0 {
+		t.Fatalf("leaf IO = %d %d %d", tr.LeafIO(0), tr.LeafIO(1), tr.LeafIO(2))
+	}
+	if got := tr.IOShare(0); got != 0.25 {
+		t.Fatalf("IOShare(0) = %v, want 0.25", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if tr.LeafIO(0) != 0 || tr.LeafIO(1) != 0 {
+		t.Fatal("release did not clear IO counts")
+	}
+	// Non-IO jobs leave IO counters alone.
+	if err := tr.Allocate(2, cluster.CommIntensive, false, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.LeafIO(0) != 0 {
+		t.Fatal("non-IO job counted")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Double allocation rejected by the underlying state.
+	if err := tr.Allocate(2, cluster.CommIntensive, true, []int{2}); err == nil {
+		t.Fatal("double allocation accepted")
+	}
+	if err := tr.Release(99); err == nil {
+		t.Fatal("release of unknown job accepted")
+	}
+}
+
+func TestSelectorAvoidsIOLeaves(t *testing.T) {
+	tr := newTracker(t)
+	// Leaf 0 hosts an IO-intensive job; leaves 1, 2 are idle.
+	if err := tr.Allocate(1, cluster.ComputeIntensive, true, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	sel := &Selector{Tracker: tr}
+	// An IO-intensive compute job prefers IO-quiet leaves.
+	nodes, err := sel.Select(core.Request{Job: 2, Nodes: 8, Class: cluster.ComputeIntensive}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := tr.State().Topology()
+	for _, id := range nodes {
+		if topo.LeafOf(id) == 0 {
+			t.Fatalf("IO job placed on the IO-heavy leaf: %v", nodes)
+		}
+	}
+	// A communication-intensive job also avoids the IO leaf (shared
+	// uplinks).
+	nodes, err = sel.Select(core.Request{Job: 3, Nodes: 8, Class: cluster.CommIntensive}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range nodes {
+		if topo.LeafOf(id) == 0 {
+			t.Fatalf("comm job placed on the IO-heavy leaf: %v", nodes)
+		}
+	}
+	// A pure compute job takes the IO leaf first, preserving quiet leaves.
+	nodes, err = sel.Select(core.Request{Job: 4, Nodes: 4, Class: cluster.ComputeIntensive}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range nodes {
+		if topo.LeafOf(id) != 0 {
+			t.Fatalf("compute job avoided the IO leaf: %v", nodes)
+		}
+	}
+}
+
+func TestSelectorErrors(t *testing.T) {
+	tr := newTracker(t)
+	sel := &Selector{Tracker: tr}
+	if _, err := sel.Select(core.Request{Job: 1, Nodes: 0}, false); err == nil {
+		t.Error("zero-node request accepted")
+	}
+	if _, err := sel.Select(core.Request{Job: 1, Nodes: 999}, false); !errors.Is(err, core.ErrInsufficientNodes) {
+		t.Errorf("oversized request: %v", err)
+	}
+}
+
+func TestIOCost(t *testing.T) {
+	tr := newTracker(t)
+	if err := tr.Allocate(1, cluster.CommIntensive, true, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Nodes on leaf 0: share 1 + io 0.5 + comm 0.5 each.
+	if got := tr.IOCost([]int{4, 5}); got != 2*(1+0.5+0.5) {
+		t.Fatalf("IOCost on leaf 0 = %v, want 4", got)
+	}
+	// Nodes on idle leaf 2: 1 each.
+	if got := tr.IOCost([]int{16, 17}); got != 2 {
+		t.Fatalf("IOCost on idle leaf = %v, want 2", got)
+	}
+}
+
+// Random churn through the tracker keeps its counters consistent, and an
+// IO-intensive placement never costs more than the reversed (worst) leaf
+// order under the same state.
+func TestTrackerChurn(t *testing.T) {
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 8, Fanouts: []int{4}})
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTracker(cluster.New(topo))
+		sel := &Selector{Tracker: tr}
+		var live []cluster.JobID
+		next := cluster.JobID(1)
+		for op := 0; op < 60; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				if err := tr.Release(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				n := 1 + rng.Intn(6)
+				if n > tr.State().FreeTotal() {
+					continue
+				}
+				io := rng.Intn(2) == 0
+				class := cluster.ComputeIntensive
+				if rng.Intn(2) == 0 {
+					class = cluster.CommIntensive
+				}
+				nodes, err := sel.Select(core.Request{Job: next, Nodes: n, Class: class}, io)
+				if err != nil {
+					return false
+				}
+				if err := tr.Allocate(next, class, io, nodes); err != nil {
+					return false
+				}
+				live = append(live, next)
+				next++
+			}
+			if tr.CheckInvariants() != nil || tr.State().CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIOAwareSelect(b *testing.B) {
+	topo := topology.Theta()
+	tr := NewTracker(cluster.New(topo))
+	sel := &Selector{Tracker: tr}
+	req := core.Request{Job: 1, Nodes: 256, Class: cluster.CommIntensive}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(req, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

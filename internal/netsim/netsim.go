@@ -1,0 +1,407 @@
+// Package netsim is a flow-level network simulator for tree/fat-tree
+// interconnects. It stands in for the paper's 50-node departmental cluster
+// experiment (Figure 1): MPI collectives are executed step by step as sets
+// of concurrent flows; flows routed over shared links split bandwidth
+// max-min fairly, so two jobs whose traffic crosses the same switches slow
+// each other down — exactly the contention mechanism the paper measures.
+//
+// The fluid model: at any instant every active flow gets its max-min fair
+// rate given link capacities; the simulation advances to the next flow
+// completion (or job start), rates are recomputed, and a job advances to
+// its next collective step when all of the step's flows finish.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+// Options configures link capacities in bytes/second.
+type Options struct {
+	// NodeBandwidth is the capacity of a node-to-leaf-switch link
+	// (default 125 MB/s, i.e. 1 Gb Ethernet as in the paper's cluster).
+	NodeBandwidth float64
+	// UplinkBandwidth is the capacity of a switch-to-parent link (default
+	// 2× NodeBandwidth; oversubscribed leaves make inter-switch traffic
+	// contend, as on the departmental cluster).
+	UplinkBandwidth float64
+	// IncastPenalty models TCP congestion collapse on shared links: a link
+	// carrying k concurrent flows delivers capacity/(1+IncastPenalty·(k-1))
+	// in aggregate instead of the ideal fair share. Zero (the default) is
+	// the pure max-min fluid model; values around 0.2–0.4 reproduce the
+	// multi-x slowdowns the paper measured on TCP-over-Ethernet.
+	IncastPenalty float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NodeBandwidth <= 0 {
+		o.NodeBandwidth = 125e6
+	}
+	if o.UplinkBandwidth <= 0 {
+		o.UplinkBandwidth = 2 * o.NodeBandwidth
+	}
+	return o
+}
+
+// Network is an immutable routing/capacity model over a topology.
+type Network struct {
+	topo *topology.Topology
+	opts Options
+
+	// Directed link IDs: for node i, 2i (up) and 2i+1 (down); for the
+	// switch at index s in topo.Switches, base+2s (up to parent) and
+	// base+2s+1 (down from parent). The root's up/down IDs exist but are
+	// never routed over.
+	switchBase  int
+	numLinks    int
+	switchIndex map[*topology.Switch]int
+	capacity    []float64
+}
+
+// New builds a Network over the topology.
+func New(topo *topology.Topology, opts Options) *Network {
+	opts = opts.withDefaults()
+	n := &Network{
+		topo:        topo,
+		opts:        opts,
+		switchBase:  2 * topo.NumNodes(),
+		switchIndex: make(map[*topology.Switch]int, len(topo.Switches)),
+	}
+	n.numLinks = n.switchBase + 2*len(topo.Switches)
+	n.capacity = make([]float64, n.numLinks)
+	for i := 0; i < topo.NumNodes(); i++ {
+		n.capacity[2*i] = opts.NodeBandwidth
+		n.capacity[2*i+1] = opts.NodeBandwidth
+	}
+	for s, sw := range topo.Switches {
+		n.switchIndex[sw] = s
+		n.capacity[n.switchBase+2*s] = opts.UplinkBandwidth
+		n.capacity[n.switchBase+2*s+1] = opts.UplinkBandwidth
+	}
+	return n
+}
+
+// route returns the directed link IDs a flow from node src to node dst
+// traverses: src's uplink, the up-chain to the lowest common switch, the
+// down-chain, and dst's downlink.
+func (n *Network) route(src, dst int) []int {
+	links := []int{2 * src}
+	topo := n.topo
+	ls := topo.Leaves[topo.LeafOf(src)]
+	ld := topo.Leaves[topo.LeafOf(dst)]
+	common := topo.CommonSwitchLevel(src, dst)
+	for sw := ls; sw.Level < common; sw = sw.Parent {
+		links = append(links, n.switchBase+2*n.switchIndex[sw])
+	}
+	var down []int
+	for sw := ld; sw.Level < common; sw = sw.Parent {
+		down = append(down, n.switchBase+2*n.switchIndex[sw]+1)
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		links = append(links, down[i])
+	}
+	links = append(links, 2*dst+1)
+	return links
+}
+
+// CollectiveJob is one job repeatedly executing a collective over its
+// allocated nodes.
+type CollectiveJob struct {
+	Name string
+	// Nodes is the allocation in rank order.
+	Nodes []int
+	// Pattern is the collective's underlying algorithm.
+	Pattern collective.Pattern
+	// BaseBytes is the base message size (the paper uses 1 MB).
+	BaseBytes float64
+	// Iterations is how many times the collective runs back to back.
+	Iterations int
+	// Start is the job's start time in seconds.
+	Start float64
+}
+
+// JobTiming reports one job's execution.
+type JobTiming struct {
+	Name  string
+	Start float64
+	End   float64
+	// IterTimes[k] is the duration of iteration k.
+	IterTimes []float64
+	// IterEnds[k] is the wall-clock completion time of iteration k.
+	IterEnds []float64
+}
+
+type flowState struct {
+	links     []int
+	remaining float64
+	job       int
+}
+
+type jobState struct {
+	spec     CollectiveJob
+	steps    []collective.Step
+	stepIdx  int // next step to inject
+	iter     int
+	active   int // outstanding flows of the current step
+	iterFrom float64
+	timing   *JobTiming
+	launched bool
+	done     bool
+}
+
+// Run co-simulates the jobs and returns their timings, in input order.
+// Jobs with a single node or zero iterations complete instantly at their
+// start time.
+func (n *Network) Run(jobs []CollectiveJob) ([]JobTiming, error) {
+	return n.run(jobs, nil)
+}
+
+// run is the fluid simulation core; stats, when non-nil, accumulates
+// per-link occupancy.
+func (n *Network) run(jobs []CollectiveJob, stats *LinkStats) ([]JobTiming, error) {
+	states := make([]*jobState, len(jobs))
+	timings := make([]JobTiming, len(jobs))
+	for i, j := range jobs {
+		if len(j.Nodes) == 0 {
+			return nil, fmt.Errorf("netsim: job %q has no nodes", j.Name)
+		}
+		for _, id := range j.Nodes {
+			if id < 0 || id >= n.topo.NumNodes() {
+				return nil, fmt.Errorf("netsim: job %q: node %d out of range", j.Name, id)
+			}
+		}
+		if j.BaseBytes <= 0 {
+			return nil, fmt.Errorf("netsim: job %q: non-positive message size", j.Name)
+		}
+		if j.Iterations < 0 {
+			return nil, fmt.Errorf("netsim: job %q: negative iterations", j.Name)
+		}
+		steps, err := j.Pattern.Schedule(len(j.Nodes))
+		if err != nil {
+			return nil, fmt.Errorf("netsim: job %q: %w", j.Name, err)
+		}
+		timings[i] = JobTiming{Name: j.Name, Start: j.Start, End: j.Start}
+		states[i] = &jobState{spec: j, steps: steps, timing: &timings[i]}
+	}
+
+	pending := make([]int, 0, len(jobs))
+	for i := range jobs {
+		pending = append(pending, i)
+	}
+	sort.SliceStable(pending, func(a, b int) bool {
+		return jobs[pending[a]].Start < jobs[pending[b]].Start
+	})
+
+	now := 0.0
+	var flows []*flowState
+	activeJobs := 0
+
+	// pump injects steps for job i until it has outstanding flows or is
+	// done; zero-flow steps (degenerate pair sets) are skipped instantly.
+	pump := func(i int) {
+		js := states[i]
+		for !js.done && js.active == 0 {
+			if js.stepIdx == len(js.steps) {
+				js.timing.IterTimes = append(js.timing.IterTimes, now-js.iterFrom)
+				js.timing.IterEnds = append(js.timing.IterEnds, now)
+				js.iterFrom = now
+				js.iter++
+				js.stepIdx = 0
+				if js.iter == js.spec.Iterations {
+					js.done = true
+					js.timing.End = now
+					activeJobs--
+					return
+				}
+			}
+			step := js.steps[js.stepIdx]
+			js.stepIdx++
+			bytes := step.MsgSize * js.spec.BaseBytes
+			for _, p := range step.Pairs {
+				a, b := js.spec.Nodes[p.A], js.spec.Nodes[p.B]
+				if a == b {
+					continue
+				}
+				flows = append(flows,
+					&flowState{links: n.route(a, b), remaining: bytes, job: i},
+					&flowState{links: n.route(b, a), remaining: bytes, job: i},
+				)
+				js.active += 2
+			}
+		}
+	}
+
+	launch := func(i int) {
+		js := states[i]
+		js.launched = true
+		js.iterFrom = now
+		if js.spec.Iterations == 0 || len(js.steps) == 0 {
+			js.done = true
+			js.timing.End = js.spec.Start
+			for k := 0; k < js.spec.Iterations; k++ {
+				js.timing.IterTimes = append(js.timing.IterTimes, 0)
+				js.timing.IterEnds = append(js.timing.IterEnds, js.spec.Start)
+			}
+			return
+		}
+		activeJobs++
+		pump(i)
+	}
+
+	const doneBytes = 1e-3
+	defer func() {
+		if stats != nil {
+			stats.Duration = now
+		}
+	}()
+	for activeJobs > 0 || len(pending) > 0 {
+		for len(pending) > 0 && jobs[pending[0]].Start <= now+1e-9 {
+			launch(pending[0])
+			pending = pending[1:]
+		}
+		if activeJobs == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			now = jobs[pending[0]].Start
+			continue
+		}
+		rates := n.maxMinRates(flows)
+		dt := math.Inf(1)
+		for fi, f := range flows {
+			if rates[fi] > 0 {
+				if t := f.remaining / rates[fi]; t < dt {
+					dt = t
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("netsim: stalled at t=%v with %d flows", now, len(flows))
+		}
+		if len(pending) > 0 {
+			if gap := jobs[pending[0]].Start - now; gap < dt {
+				dt = gap
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		if stats != nil {
+			stats.account(flows, rates, dt)
+		}
+		for fi, f := range flows {
+			f.remaining -= rates[fi] * dt
+		}
+		now += dt
+		live := flows[:0]
+		finishedJobs := map[int]bool{}
+		for _, f := range flows {
+			if f.remaining <= doneBytes {
+				states[f.job].active--
+				if states[f.job].active == 0 {
+					finishedJobs[f.job] = true
+				}
+				continue
+			}
+			live = append(live, f)
+		}
+		flows = live
+		// Deterministic pump order.
+		order := make([]int, 0, len(finishedJobs))
+		for i := range finishedJobs {
+			order = append(order, i)
+		}
+		sort.Ints(order)
+		for _, i := range order {
+			if states[i].launched && !states[i].done {
+				pump(i)
+			}
+		}
+	}
+	return timings, nil
+}
+
+// maxMinRates computes max-min fair rates for the flows via progressive
+// filling: repeatedly find the most constrained link, freeze its flows at
+// the fair share, remove them, repeat.
+func (n *Network) maxMinRates(flows []*flowState) []float64 {
+	rates := make([]float64, len(flows))
+	remCap := make(map[int]float64)
+	count := make(map[int]int)
+	for _, f := range flows {
+		for _, l := range f.links {
+			if _, ok := remCap[l]; !ok {
+				remCap[l] = n.capacity[l]
+			}
+			count[l]++
+		}
+	}
+	if n.opts.IncastPenalty > 0 {
+		// Congestion collapse: a link's deliverable aggregate shrinks with
+		// its concurrent flow count before the fair division.
+		for l, c := range count {
+			if c > 1 {
+				remCap[l] = n.capacity[l] / (1 + n.opts.IncastPenalty*float64(c-1))
+			}
+		}
+	}
+	unfixed := make([]bool, len(flows))
+	for i := range unfixed {
+		unfixed[i] = true
+	}
+	left := len(flows)
+	for left > 0 {
+		minShare := math.Inf(1)
+		minLink := -1
+		for l, c := range count {
+			if c == 0 {
+				continue
+			}
+			share := remCap[l] / float64(c)
+			if share < minShare || (share == minShare && l < minLink) {
+				minShare = share
+				minLink = l
+			}
+		}
+		if minLink < 0 {
+			for i := range rates {
+				if unfixed[i] {
+					rates[i] = math.Inf(1)
+					unfixed[i] = false
+					left--
+				}
+			}
+			break
+		}
+		for i, f := range flows {
+			if !unfixed[i] {
+				continue
+			}
+			crosses := false
+			for _, l := range f.links {
+				if l == minLink {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			rates[i] = minShare
+			unfixed[i] = false
+			left--
+			for _, l := range f.links {
+				remCap[l] -= minShare
+				if remCap[l] < 0 {
+					remCap[l] = 0
+				}
+				count[l]--
+			}
+		}
+	}
+	return rates
+}

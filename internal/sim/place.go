@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/mapping"
+	"repro/internal/workload"
+)
+
+// Placement is the outcome of placing one job on the cluster: the chosen
+// nodes (in rank order), the Eq. 7 modified execution time, and the cost
+// bookkeeping for the dominant pattern.
+type Placement struct {
+	Nodes []int
+	// Exec is the modified runtime (Eq. 7); equals the job's base runtime
+	// for compute-intensive jobs and under the default algorithm.
+	Exec float64
+	// Cost and RefCost are the Eq. 6 costs of this allocation and of the
+	// hypothetical default allocation, for the job's dominant pattern.
+	Cost    float64
+	RefCost float64
+	// Ratio is the communication-weighted mean cost ratio applied.
+	Ratio float64
+}
+
+// PlaceJob selects nodes for the job with the given selector, evaluates the
+// paper's runtime model against the hypothetical default placement from the
+// same cluster state, and returns the placement WITHOUT committing it. The
+// state is unchanged on return.
+func PlaceJob(st *cluster.State, selector, defSel core.Selector, j workload.Job,
+	mode costmodel.Mode) (Placement, error) {
+	return PlaceJobMapped(st, selector, defSel, j, mode, false)
+}
+
+// PlaceJobMapped is PlaceJob with optional post-allocation rank remapping
+// (the paper's §7 "process mapping after node allocation" future work):
+// when remap is true and the job is communication-intensive, the rank→node
+// assignment over the selected nodes is reordered to reduce the Eq. 6 cost
+// of the dominant pattern before the runtime model is applied.
+func PlaceJobMapped(st *cluster.State, selector, defSel core.Selector, j workload.Job,
+	mode costmodel.Mode, remap bool) (Placement, error) {
+	pattern := collective.RD
+	if p, ok := j.Mix.PrimaryPattern(); ok {
+		pattern = p
+	}
+	req := core.Request{Job: j.ID, Nodes: j.Nodes, Class: j.Class, Pattern: pattern}
+	nodes, err := selector.Select(st, req)
+	if err != nil {
+		return Placement{}, fmt.Errorf("sim: job %d: %w", j.ID, err)
+	}
+	pl := Placement{Nodes: nodes, Exec: j.Runtime, Ratio: 1}
+	if j.Class != cluster.CommIntensive || len(j.Mix.Comms) == 0 || j.Nodes <= 1 {
+		return pl, nil
+	}
+	if remap {
+		mapped, _, err := mapping.Remap(st, j.ID, j.Class, nodes, pattern, mapping.Options{})
+		if err != nil {
+			return Placement{}, fmt.Errorf("sim: job %d remap: %w", j.ID, err)
+		}
+		nodes = mapped
+		pl.Nodes = mapped
+	}
+	defNodes, err := defSel.Select(st, req)
+	if err != nil {
+		return Placement{}, fmt.Errorf("sim: job %d (default reference): %w", j.ID, err)
+	}
+	ratios := make([]float64, len(j.Mix.Comms))
+	for k, c := range j.Mix.Comms {
+		costX, err := costmodel.CandidateCostMode(st, j.ID, j.Class, nodes, c.Pattern, mode)
+		if err != nil {
+			return Placement{}, fmt.Errorf("sim: job %d cost: %w", j.ID, err)
+		}
+		costD, err := costmodel.CandidateCostMode(st, j.ID, j.Class, defNodes, c.Pattern, mode)
+		if err != nil {
+			return Placement{}, fmt.Errorf("sim: job %d reference cost: %w", j.ID, err)
+		}
+		ratios[k] = costmodel.RuntimeRatio(costX, costD)
+		if c.Pattern == pattern {
+			pl.Cost = costX
+			pl.RefCost = costD
+		}
+	}
+	exec, err := costmodel.ModifiedRuntimeMix(j.Runtime, j.Mix, ratios)
+	if err != nil {
+		return Placement{}, err
+	}
+	if exec < 1 {
+		exec = 1 // a job always takes at least a second
+	}
+	pl.Exec = exec
+	total, weight := 0.0, 0.0
+	for k, c := range j.Mix.Comms {
+		total += ratios[k] * c.Frac
+		weight += c.Frac
+	}
+	if weight > 0 {
+		pl.Ratio = total / weight
+	}
+	return pl, nil
+}

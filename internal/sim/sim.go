@@ -1,0 +1,352 @@
+// Package sim is the discrete-event cluster simulator that stands in for
+// the paper's SLURM frontend emulation (§5.1–5.2). It replays a job trace
+// against a topology with FIFO + EASY-backfilling scheduling (SLURM's
+// default policy), delegates node selection to one of the core allocation
+// algorithms, and applies the paper's runtime model: a
+// communication-intensive job's execution time is its trace runtime with
+// the communication share scaled by Cost_jobaware/Cost_default (Eq. 7),
+// where the reference cost is what the default algorithm would have chosen
+// from the same cluster state.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Config parameterises a simulation run. The zero value of the optional
+// fields gives the paper's setup: EASY backfilling on, effective-hops cost.
+type Config struct {
+	// Topology is the machine interconnect (required).
+	Topology *topology.Topology
+	// Algorithm is the node-selection policy under test.
+	Algorithm core.Algorithm
+	// DisableBackfill turns off EASY backfilling (ablation; SLURM's default
+	// FIFO+backfill corresponds to false).
+	DisableBackfill bool
+	// CostMode selects the communication cost function (ablation; the
+	// paper's Eq. 6 corresponds to the zero value).
+	CostMode costmodel.Mode
+	// RankRemap enables post-allocation process mapping (§7 future work):
+	// ranks are reordered over the selected nodes to reduce the dominant
+	// pattern's Eq. 6 cost.
+	RankRemap bool
+	// Policy orders the waiting queue (default FIFO, the paper's setup).
+	Policy Policy
+}
+
+// Result is the outcome of a continuous run.
+type Result struct {
+	Algorithm core.Algorithm
+	// MachineNodes is the machine size the trace ran on.
+	MachineNodes int
+	Jobs         []metrics.JobResult
+	Summary      metrics.Summary
+	// Utilization is delivered node-seconds over machine capacity across
+	// the makespan.
+	Utilization float64
+}
+
+type eventKind uint8
+
+const (
+	evArrive eventKind = iota
+	evComplete
+)
+
+type event struct {
+	time float64
+	seq  int64 // tiebreaker for determinism
+	kind eventKind
+	job  int // index into the trace
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// runningJob tracks a started job for backfill reservations. estEnd is the
+// completion time the scheduler plans with (start + walltime estimate); the
+// actual completion event may come earlier.
+type runningJob struct {
+	job    int
+	nodes  int
+	end    float64
+	estEnd float64
+}
+
+type engine struct {
+	cfg      Config
+	trace    workload.Trace
+	st       *cluster.State
+	selector core.Selector
+	defSel   core.Selector
+
+	events  eventQueue
+	seq     int64
+	queue   []int // waiting job indexes, FIFO
+	running map[int]runningJob
+
+	results []metrics.JobResult
+	started []bool
+
+	// Dependency support (SWF "preceding job"): idToIdx resolves job IDs,
+	// held parks arrived jobs whose dependency has not completed, and
+	// completedAt records completion times (-1 = not yet).
+	idToIdx     map[cluster.JobID]int
+	held        map[cluster.JobID][]int
+	completedAt []float64
+}
+
+// RunContinuous replays the whole trace with its original submit times
+// (the paper's "continuous runs").
+func RunContinuous(cfg Config, trace workload.Trace) (*Result, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sim: nil topology")
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	if trace.MachineNodes > cfg.Topology.NumNodes() {
+		return nil, fmt.Errorf("sim: trace needs %d nodes, topology has %d",
+			trace.MachineNodes, cfg.Topology.NumNodes())
+	}
+	sel, err := core.New(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	defSel, err := core.New(core.Default)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:         cfg,
+		trace:       trace,
+		st:          cluster.New(cfg.Topology),
+		selector:    sel,
+		defSel:      defSel,
+		running:     make(map[int]runningJob),
+		results:     make([]metrics.JobResult, len(trace.Jobs)),
+		started:     make([]bool, len(trace.Jobs)),
+		idToIdx:     make(map[cluster.JobID]int, len(trace.Jobs)),
+		held:        make(map[cluster.JobID][]int),
+		completedAt: make([]float64, len(trace.Jobs)),
+	}
+	for i, j := range trace.Jobs {
+		e.idToIdx[j.ID] = i
+		e.completedAt[i] = -1
+		e.push(event{time: j.Submit, kind: evArrive, job: i})
+	}
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Algorithm:    cfg.Algorithm,
+		MachineNodes: cfg.Topology.NumNodes(),
+		Jobs:         e.results,
+	}
+	res.Summary = metrics.Summarize(res.Jobs)
+	if res.Summary.MakespanHours > 0 {
+		res.Utilization = res.Summary.TotalNodeHours /
+			(res.Summary.MakespanHours * float64(res.MachineNodes))
+	}
+	return res, nil
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+func (e *engine) loop() error {
+	heap.Init(&e.events)
+	guard := 0
+	limit := 10 * len(e.trace.Jobs) * (len(e.trace.Jobs) + 2)
+	for e.events.Len() > 0 {
+		guard++
+		if guard > limit && limit > 0 {
+			return fmt.Errorf("sim: event budget exceeded (livelock?)")
+		}
+		ev := heap.Pop(&e.events).(event)
+		now := ev.time
+		switch ev.kind {
+		case evArrive:
+			j := e.trace.Jobs[ev.job]
+			if dep := j.DependsOn; dep != 0 && !e.started[ev.job] {
+				depIdx := e.idToIdx[dep]
+				switch {
+				case e.completedAt[depIdx] < 0:
+					// Dependency still outstanding: park the job; its
+					// completion re-arms this arrival.
+					e.held[dep] = append(e.held[dep], ev.job)
+					continue
+				case e.completedAt[depIdx]+j.ThinkTime > now:
+					e.push(event{time: e.completedAt[depIdx] + j.ThinkTime,
+						kind: evArrive, job: ev.job})
+					continue
+				}
+			}
+			e.queue = append(e.queue, ev.job)
+		case evComplete:
+			if _, ok := e.running[ev.job]; !ok {
+				return fmt.Errorf("sim: completion for job index %d not running", ev.job)
+			}
+			delete(e.running, ev.job)
+			if err := e.st.Release(e.trace.Jobs[ev.job].ID); err != nil {
+				return err
+			}
+			e.completedAt[ev.job] = now
+			id := e.trace.Jobs[ev.job].ID
+			for _, waiter := range e.held[id] {
+				e.push(event{time: now + e.trace.Jobs[waiter].ThinkTime,
+					kind: evArrive, job: waiter})
+			}
+			delete(e.held, id)
+		}
+		if err := e.schedule(now); err != nil {
+			return err
+		}
+	}
+	if len(e.queue) > 0 || len(e.running) > 0 || len(e.held) > 0 {
+		return fmt.Errorf("sim: %d queued, %d running and %d held jobs at end of events",
+			len(e.queue), len(e.running), len(e.held))
+	}
+	return nil
+}
+
+// schedule starts queued jobs: the policy-ordered head first, then EASY
+// backfilling behind the head's reservation.
+func (e *engine) schedule(now float64) error {
+	e.cfg.Policy.order(e.trace.Jobs, e.queue)
+	// Start jobs from the head while they fit.
+	for len(e.queue) > 0 {
+		head := e.queue[0]
+		if e.trace.Jobs[head].Nodes > e.st.FreeTotal() {
+			break
+		}
+		if err := e.start(head, now); err != nil {
+			return err
+		}
+		e.queue = e.queue[1:]
+	}
+	if len(e.queue) == 0 || e.cfg.DisableBackfill {
+		return nil
+	}
+	// EASY backfilling: compute the head's reservation, then start later
+	// jobs that do not delay it.
+	head := e.trace.Jobs[e.queue[0]]
+	shadow, extra, ok := e.reservation(now, head.Nodes)
+	if !ok {
+		return fmt.Errorf("sim: job %d (%d nodes) can never run", head.ID, head.Nodes)
+	}
+	for i := 1; i < len(e.queue); {
+		idx := e.queue[i]
+		j := e.trace.Jobs[idx]
+		if j.Nodes > e.st.FreeTotal() {
+			i++
+			continue
+		}
+		finishesBeforeShadow := now+j.EstimatedRuntime() <= shadow
+		fitsExtra := j.Nodes <= extra
+		if !finishesBeforeShadow && !fitsExtra {
+			i++
+			continue
+		}
+		if err := e.start(idx, now); err != nil {
+			return err
+		}
+		if !finishesBeforeShadow {
+			extra -= j.Nodes
+		}
+		e.queue = append(e.queue[:i], e.queue[i+1:]...)
+	}
+	return nil
+}
+
+// reservation returns the earliest time the head job's node count becomes
+// available if nothing else starts (the EASY shadow time) and the number of
+// extra free nodes at that time beyond the head's need.
+func (e *engine) reservation(now float64, need int) (shadow float64, extra int, ok bool) {
+	free := e.st.FreeTotal()
+	if need <= free {
+		return now, free - need, true
+	}
+	ends := make([]runningJob, 0, len(e.running))
+	for _, r := range e.running {
+		ends = append(ends, r)
+	}
+	sort.Slice(ends, func(a, b int) bool {
+		if ends[a].estEnd != ends[b].estEnd {
+			return ends[a].estEnd < ends[b].estEnd
+		}
+		return ends[a].job < ends[b].job
+	})
+	for _, r := range ends {
+		free += r.nodes
+		if free >= need {
+			return r.estEnd, free - need, true
+		}
+	}
+	return 0, 0, false
+}
+
+// start selects nodes for the job, applies the Eq. 7 runtime model, commits
+// the allocation and schedules completion.
+func (e *engine) start(idx int, now float64) error {
+	j := e.trace.Jobs[idx]
+	if e.started[idx] {
+		return fmt.Errorf("sim: job %d started twice", j.ID)
+	}
+	pl, err := PlaceJobMapped(e.st, e.selector, e.defSel, j, e.cfg.CostMode, e.cfg.RankRemap)
+	if err != nil {
+		return err
+	}
+	if err := e.st.Allocate(j.ID, j.Class, pl.Nodes); err != nil {
+		return err
+	}
+	e.results[idx] = metrics.JobResult{
+		ID:        int64(j.ID),
+		Nodes:     j.Nodes,
+		Comm:      j.Class == cluster.CommIntensive,
+		Submit:    j.Submit,
+		Start:     now,
+		End:       now + pl.Exec,
+		BaseRun:   j.Runtime,
+		Exec:      pl.Exec,
+		CommCost:  pl.Cost,
+		RefCost:   pl.RefCost,
+		CostRatio: pl.Ratio,
+	}
+	estEnd := now + pl.Exec
+	if est := j.EstimatedRuntime(); now+est > estEnd {
+		estEnd = now + est
+	}
+	e.started[idx] = true
+	e.running[idx] = runningJob{job: idx, nodes: j.Nodes, end: now + pl.Exec, estEnd: estEnd}
+	e.push(event{time: now + pl.Exec, kind: evComplete, job: idx})
+	return nil
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// ValidateResult cross-checks a continuous run against its input trace:
+// every job appears exactly once with consistent times, dependants start
+// after their dependencies, and a sweep over all start/end events never
+// oversubscribes the machine. It is an independent auditor of the engine
+// (used by integration tests and available to harnesses), not a re-run.
+func ValidateResult(res *Result, trace workload.Trace) error {
+	if len(res.Jobs) != len(trace.Jobs) {
+		return fmt.Errorf("sim: %d results for %d jobs", len(res.Jobs), len(trace.Jobs))
+	}
+	const eps = 1e-6
+	byID := make(map[int64]int, len(res.Jobs))
+	for i, r := range res.Jobs {
+		j := trace.Jobs[i]
+		if r.ID != int64(j.ID) {
+			return fmt.Errorf("sim: result %d has ID %d, trace has %d", i, r.ID, j.ID)
+		}
+		byID[r.ID] = i
+		if r.Nodes != j.Nodes {
+			return fmt.Errorf("sim: job %d ran on %d nodes, requested %d", r.ID, r.Nodes, j.Nodes)
+		}
+		if r.Start+eps < j.Submit {
+			return fmt.Errorf("sim: job %d started %v before submit %v", r.ID, r.Start, j.Submit)
+		}
+		if math.Abs(r.End-r.Start-r.Exec) > eps {
+			return fmt.Errorf("sim: job %d end %v != start %v + exec %v", r.ID, r.End, r.Start, r.Exec)
+		}
+		if r.Exec <= 0 {
+			return fmt.Errorf("sim: job %d has exec %v", r.ID, r.Exec)
+		}
+		if r.BaseRun != j.Runtime {
+			return fmt.Errorf("sim: job %d base runtime %v != trace %v", r.ID, r.BaseRun, j.Runtime)
+		}
+		if !r.Comm && math.Abs(r.Exec-j.Runtime) > eps {
+			return fmt.Errorf("sim: compute job %d exec %v != runtime %v", r.ID, r.Exec, j.Runtime)
+		}
+	}
+	// Dependencies: start after the dependency's end plus think time.
+	for i, j := range trace.Jobs {
+		if j.DependsOn == 0 {
+			continue
+		}
+		di, ok := byID[int64(j.DependsOn)]
+		if !ok {
+			return fmt.Errorf("sim: job %d depends on unknown job %d", j.ID, j.DependsOn)
+		}
+		if res.Jobs[i].Start+eps < res.Jobs[di].End+j.ThinkTime {
+			return fmt.Errorf("sim: job %d started %v before dependency %d ended %v (+%v think)",
+				j.ID, res.Jobs[i].Start, j.DependsOn, res.Jobs[di].End, j.ThinkTime)
+		}
+	}
+	// Capacity sweep: concurrent node usage never exceeds the machine.
+	type ev struct {
+		t     float64
+		delta int
+	}
+	events := make([]ev, 0, 2*len(res.Jobs))
+	for _, r := range res.Jobs {
+		events = append(events, ev{r.Start, r.Nodes}, ev{r.End, -r.Nodes})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].delta < events[b].delta // releases before starts at ties
+	})
+	inUse := 0
+	for _, e := range events {
+		inUse += e.delta
+		if inUse > trace.MachineNodes {
+			return fmt.Errorf("sim: %d nodes in use at t=%v, machine has %d",
+				inUse, e.t, trace.MachineNodes)
+		}
+	}
+	if inUse != 0 {
+		return fmt.Errorf("sim: %d nodes still in use after all events", inUse)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Every algorithm × policy × option combination must produce a run that
+// passes the independent auditor — the package's main integration test.
+func TestValidateResultAcrossConfigurations(t *testing.T) {
+	base := workload.Theta.Synthesize(120, 44).
+		MustTag(0.9, collective.SinglePattern(collective.RHVD, 0.7), 45)
+	withDeps, err := base.WithDependencies(0.2, 46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.Theta()
+	type cfgCase struct {
+		name  string
+		cfg   Config
+		trace workload.Trace
+	}
+	var cases []cfgCase
+	for _, alg := range core.Algorithms {
+		cases = append(cases, cfgCase{alg.String(), Config{Topology: topo, Algorithm: alg}, base})
+	}
+	cases = append(cases,
+		cfgCase{"nobackfill", Config{Topology: topo, Algorithm: core.Adaptive, DisableBackfill: true}, base},
+		cfgCase{"sjf", Config{Topology: topo, Algorithm: core.Balanced, Policy: SJF}, base},
+		cfgCase{"widest", Config{Topology: topo, Algorithm: core.Greedy, Policy: WidestFirst}, base},
+		cfgCase{"remap", Config{Topology: topo, Algorithm: core.Default, RankRemap: true}, base},
+		cfgCase{"hop-bytes", Config{Topology: topo, Algorithm: core.Adaptive, CostMode: 2}, base},
+		cfgCase{"deps", Config{Topology: topo, Algorithm: core.Adaptive}, withDeps},
+		cfgCase{"deps-sjf", Config{Topology: topo, Algorithm: core.Balanced, Policy: SJF}, withDeps},
+	)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := RunContinuous(c.cfg, c.trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateResult(res, c.trace); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The auditor itself catches corrupted results.
+func TestValidateResultCatchesCorruption(t *testing.T) {
+	trace := smallTrace()
+	res, err := RunContinuous(Config{Topology: topology.PaperExample(), Algorithm: core.Default}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateResult(res, trace); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(jobs []metrics.JobResult)) error {
+		bad := &Result{Algorithm: res.Algorithm,
+			Jobs: append([]metrics.JobResult(nil), res.Jobs...)}
+		mutate(bad.Jobs)
+		return ValidateResult(bad, trace)
+	}
+	if err := corrupt(func(js []metrics.JobResult) { js[0].Start = js[0].Submit - 5 }); err == nil {
+		t.Error("early start accepted")
+	}
+	if err := corrupt(func(js []metrics.JobResult) { js[1].Nodes = 99 }); err == nil {
+		t.Error("node mismatch accepted")
+	}
+	if err := corrupt(func(js []metrics.JobResult) { js[2].End = js[2].Start }); err == nil {
+		t.Error("inconsistent end accepted")
+	}
+	if err := corrupt(func(js []metrics.JobResult) { js[0].ID = 999 }); err == nil {
+		t.Error("ID mismatch accepted")
+	}
+	// Oversubscription: force two full-machine jobs to overlap.
+	if err := corrupt(func(js []metrics.JobResult) {
+		js[2].Start = js[0].Start
+		js[2].End = js[2].Start + js[2].Exec
+	}); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	short := &Result{Jobs: res.Jobs[:2]}
+	if err := ValidateResult(short, trace); err == nil {
+		t.Error("missing results accepted")
+	}
+}

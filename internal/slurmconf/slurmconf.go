@@ -1,0 +1,198 @@
+// Package slurmconf parses the subset of slurm.conf this reproduction
+// consumes, so the daemon and simulator can be configured from the same
+// files a SLURM deployment uses. Recognised keys:
+//
+//	ClusterName=theta
+//	SchedulerType=sched/backfill        # sched/builtin disables backfilling
+//	SelectType=select/linear            # the plugin the paper modifies
+//	TopologyPlugin=topology/tree
+//	TopologyFile=/etc/slurm/topology.conf
+//
+// plus the reproduction's extensions, mirroring the paper's JOBAWARE
+// environment variable (§5.2):
+//
+//	JobAwareAlgorithm=adaptive          # default, greedy, balanced, adaptive
+//	JobAwareCostMode=effective-hops     # hop-bytes, distance-only
+//
+// Unknown keys are preserved in Raw and ignored, as SLURM tools do for
+// keys they do not own. Lines are `Key=Value` with '#' comments;
+// `Include <file>` is honoured relative to the including file.
+package slurmconf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+)
+
+// Config is a parsed slurm.conf.
+type Config struct {
+	ClusterName    string
+	SchedulerType  string
+	SelectType     string
+	TopologyPlugin string
+	TopologyFile   string
+
+	JobAwareAlgorithm string
+	JobAwareCostMode  string
+
+	// Raw preserves every key (lower-cased) and its last value.
+	Raw map[string]string
+}
+
+// Parse reads slurm.conf content. includeDir resolves Include directives
+// (pass "" to reject includes, e.g. when parsing untrusted input).
+func Parse(r io.Reader, includeDir string) (*Config, error) {
+	c := &Config{Raw: make(map[string]string)}
+	if err := c.parseInto(r, includeDir, 0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+const maxIncludeDepth = 8
+
+func (c *Config) parseInto(r io.Reader, includeDir string, depth int) error {
+	if depth > maxIncludeDepth {
+		return fmt.Errorf("slurmconf: include depth exceeds %d", maxIncludeDepth)
+	}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := cutPrefixFold(line, "include "); ok {
+			if includeDir == "" {
+				return fmt.Errorf("slurmconf:%d: Include not allowed here", lineNo)
+			}
+			path := strings.TrimSpace(rest)
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(includeDir, path)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return fmt.Errorf("slurmconf:%d: %v", lineNo, err)
+			}
+			err = c.parseInto(f, filepath.Dir(path), depth+1)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq <= 0 {
+			return fmt.Errorf("slurmconf:%d: malformed line %q", lineNo, line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:eq]))
+		val := strings.TrimSpace(line[eq+1:])
+		c.Raw[key] = val
+		switch key {
+		case "clustername":
+			c.ClusterName = val
+		case "schedulertype":
+			c.SchedulerType = val
+		case "selecttype":
+			c.SelectType = val
+		case "topologyplugin":
+			c.TopologyPlugin = val
+		case "topologyfile":
+			c.TopologyFile = val
+		case "jobawarealgorithm":
+			c.JobAwareAlgorithm = val
+		case "jobawarecostmode":
+			c.JobAwareCostMode = val
+		}
+	}
+	return scanner.Err()
+}
+
+// cutPrefixFold is strings.CutPrefix with ASCII case folding.
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) {
+		return "", false
+	}
+	if strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// Load parses a slurm.conf file; Include directives resolve relative to it.
+func Load(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := Parse(f, filepath.Dir(path))
+	if err != nil {
+		return nil, err
+	}
+	// A relative TopologyFile resolves against the conf's directory, as
+	// SLURM resolves against its sysconfdir.
+	if c.TopologyFile != "" && !filepath.IsAbs(c.TopologyFile) {
+		c.TopologyFile = filepath.Join(filepath.Dir(path), c.TopologyFile)
+	}
+	return c, nil
+}
+
+// Validate checks the plugin selections this reproduction supports.
+func (c *Config) Validate() error {
+	switch c.SelectType {
+	case "", "select/linear":
+	default:
+		return fmt.Errorf("slurmconf: SelectType %q not supported (the paper modifies select/linear)", c.SelectType)
+	}
+	switch c.TopologyPlugin {
+	case "", "topology/tree":
+	default:
+		return fmt.Errorf("slurmconf: TopologyPlugin %q not supported", c.TopologyPlugin)
+	}
+	switch c.SchedulerType {
+	case "", "sched/backfill", "sched/builtin":
+	default:
+		return fmt.Errorf("slurmconf: SchedulerType %q not supported", c.SchedulerType)
+	}
+	if _, err := c.Algorithm(); err != nil {
+		return err
+	}
+	if _, err := c.CostMode(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Backfill reports whether EASY backfilling is enabled (SLURM's
+// sched/backfill, the default).
+func (c *Config) Backfill() bool {
+	return c.SchedulerType == "" || c.SchedulerType == "sched/backfill"
+}
+
+// Algorithm returns the configured job-aware allocation algorithm
+// (default: SLURM's stock behaviour).
+func (c *Config) Algorithm() (core.Algorithm, error) {
+	if c.JobAwareAlgorithm == "" {
+		return core.Default, nil
+	}
+	return core.ParseAlgorithm(c.JobAwareAlgorithm)
+}
+
+// CostMode returns the configured cost function.
+func (c *Config) CostMode() (costmodel.Mode, error) {
+	return costmodel.ParseMode(c.JobAwareCostMode)
+}

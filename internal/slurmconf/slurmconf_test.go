@@ -1,0 +1,147 @@
+package slurmconf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+)
+
+const sample = `
+# reproduction cluster
+ClusterName=theta
+SchedulerType=sched/backfill
+SelectType=select/linear       # the plugin the paper modifies
+TopologyPlugin=topology/tree
+TopologyFile=topology.conf
+JobAwareAlgorithm=adaptive
+JobAwareCostMode=hop-bytes
+SomeFutureKey=whatever
+`
+
+func TestParse(t *testing.T) {
+	c, err := Parse(strings.NewReader(sample), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ClusterName != "theta" || c.SchedulerType != "sched/backfill" ||
+		c.SelectType != "select/linear" || c.TopologyPlugin != "topology/tree" ||
+		c.TopologyFile != "topology.conf" {
+		t.Fatalf("parsed: %+v", c)
+	}
+	if c.Raw["somefuturekey"] != "whatever" {
+		t.Fatal("unknown key not preserved")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	alg, err := c.Algorithm()
+	if err != nil || alg != core.Adaptive {
+		t.Fatalf("Algorithm = %v, %v", alg, err)
+	}
+	mode, err := c.CostMode()
+	if err != nil || mode != costmodel.ModeHopBytes {
+		t.Fatalf("CostMode = %v, %v", mode, err)
+	}
+	if !c.Backfill() {
+		t.Fatal("backfill should be on")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c, err := Parse(strings.NewReader(""), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	alg, _ := c.Algorithm()
+	if alg != core.Default {
+		t.Fatalf("default algorithm = %v", alg)
+	}
+	if !c.Backfill() {
+		t.Fatal("backfill default should be on")
+	}
+	c.SchedulerType = "sched/builtin"
+	if c.Backfill() {
+		t.Fatal("sched/builtin should disable backfill")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []string{
+		"SelectType=select/cons_tres\n",
+		"TopologyPlugin=topology/dragonfly\n",
+		"SchedulerType=sched/frob\n",
+		"JobAwareAlgorithm=frob\n",
+		"JobAwareCostMode=frob\n",
+	}
+	for _, in := range cases {
+		c, err := Parse(strings.NewReader(in), "")
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted %q", in)
+		}
+	}
+	if _, err := Parse(strings.NewReader("JustAKeyWithoutValue\n"), ""); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := Parse(strings.NewReader("=value\n"), ""); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := Parse(strings.NewReader("Include other.conf\n"), ""); err == nil {
+		t.Error("include without directory accepted")
+	}
+}
+
+func TestLoadWithInclude(t *testing.T) {
+	dir := t.TempDir()
+	inner := filepath.Join(dir, "extra.conf")
+	if err := os.WriteFile(inner, []byte("JobAwareAlgorithm=balanced\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	main := filepath.Join(dir, "slurm.conf")
+	content := "ClusterName=test\nTopologyFile=topology.conf\ninclude extra.conf\n"
+	if err := os.WriteFile(main, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.JobAwareAlgorithm != "balanced" {
+		t.Fatalf("include not applied: %+v", c)
+	}
+	// Relative TopologyFile resolves against the conf directory.
+	if c.TopologyFile != filepath.Join(dir, "topology.conf") {
+		t.Fatalf("TopologyFile = %q", c.TopologyFile)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.conf")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Missing include target fails.
+	bad := filepath.Join(dir, "bad.conf")
+	if err := os.WriteFile(bad, []byte("include nope.conf\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("missing include accepted")
+	}
+}
+
+func TestIncludeCycleBounded(t *testing.T) {
+	dir := t.TempDir()
+	self := filepath.Join(dir, "self.conf")
+	if err := os.WriteFile(self, []byte("include self.conf\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(self); err == nil {
+		t.Fatal("include cycle accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package sweep runs full parameter grids over the simulator — machine ×
+// pattern × communication fraction × communication share × algorithm —
+// and renders the results as CSV. The paper's individual experiments are
+// single slices of this grid; the sweep generalises them for sensitivity
+// studies (e.g. "at what communication share does balanced overtake
+// greedy on a Mira-like machine?").
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Grid enumerates the sweep axes. Empty slices default to the paper's
+// values.
+type Grid struct {
+	Machines      []workload.Preset
+	Patterns      []collective.Pattern
+	CommFractions []float64 // fraction of jobs tagged comm-intensive
+	CommShares    []float64 // runtime share spent communicating
+	Algorithms    []core.Algorithm
+	Jobs          int
+	Seed          int64
+	CostMode      costmodel.Mode
+	Policy        sim.Policy
+	Parallelism   int
+}
+
+func (g Grid) withDefaults() Grid {
+	if len(g.Machines) == 0 {
+		g.Machines = []workload.Preset{workload.Theta}
+	}
+	if len(g.Patterns) == 0 {
+		g.Patterns = []collective.Pattern{collective.RHVD}
+	}
+	if len(g.CommFractions) == 0 {
+		g.CommFractions = []float64{0.9}
+	}
+	if len(g.CommShares) == 0 {
+		g.CommShares = []float64{0.7}
+	}
+	if len(g.Algorithms) == 0 {
+		g.Algorithms = core.Algorithms
+	}
+	if g.Jobs == 0 {
+		g.Jobs = 500
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	if g.Parallelism <= 0 {
+		g.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return g
+}
+
+// Size returns the number of simulation runs the grid expands to.
+func (g Grid) Size() int {
+	g = g.withDefaults()
+	return len(g.Machines) * len(g.Patterns) * len(g.CommFractions) *
+		len(g.CommShares) * len(g.Algorithms)
+}
+
+// Point is one grid cell's outcome.
+type Point struct {
+	Machine      string
+	Pattern      collective.Pattern
+	CommFraction float64
+	CommShare    float64
+	Algorithm    core.Algorithm
+	Summary      metrics.Summary
+}
+
+// Run executes the grid, in parallel, in deterministic output order.
+func Run(g Grid) ([]Point, error) {
+	g = g.withDefaults()
+	points := make([]Point, g.Size())
+	sem := make(chan struct{}, g.Parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	// The topology is built once per machine and shared across that
+	// machine's cells: building Mira's 49K-node tree per cell would
+	// dominate the sweep.
+	idx := 0
+	for _, preset := range g.Machines {
+		preset := preset
+		topo := preset.NewTopology()
+		for _, pat := range g.Patterns {
+			pat := pat
+			for _, frac := range g.CommFractions {
+				frac := frac
+				for _, share := range g.CommShares {
+					share := share
+					for _, alg := range g.Algorithms {
+						alg := alg
+						i := idx
+						idx++
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							sem <- struct{}{}
+							defer func() { <-sem }()
+							trace := preset.Synthesize(g.Jobs, g.Seed)
+							tagged, err := trace.Tag(frac, collective.SinglePattern(pat, share), g.Seed+17)
+							if err == nil {
+								var res *sim.Result
+								res, err = sim.RunContinuous(sim.Config{
+									Topology: topo, Algorithm: alg,
+									CostMode: g.CostMode, Policy: g.Policy,
+								}, tagged)
+								if err == nil {
+									mu.Lock()
+									points[i] = Point{
+										Machine: preset.Name, Pattern: pat,
+										CommFraction: frac, CommShare: share,
+										Algorithm: alg, Summary: res.Summary,
+									}
+									mu.Unlock()
+									return
+								}
+							}
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = fmt.Errorf("sweep %s/%v/%.2f/%.2f/%v: %w",
+									preset.Name, pat, frac, share, alg, err)
+							}
+							mu.Unlock()
+						}()
+					}
+				}
+			}
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return points, nil
+}
+
+// WriteCSV renders sweep points, one row per run, with improvement columns
+// relative to the default algorithm of the same (machine, pattern,
+// fraction, share) slice when present.
+func WriteCSV(w io.Writer, points []Point) error {
+	cw := csv.NewWriter(w)
+	header := []string{"machine", "pattern", "comm_fraction", "comm_share", "algorithm",
+		"total_exec_hours", "total_wait_hours", "avg_turnaround_hours",
+		"total_node_hours", "avg_comm_cost", "makespan_hours",
+		"exec_improvement_pct"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	type sliceKey struct {
+		machine string
+		pattern collective.Pattern
+		frac    float64
+		share   float64
+	}
+	base := make(map[sliceKey]float64)
+	for _, p := range points {
+		if p.Algorithm == core.Default {
+			base[sliceKey{p.Machine, p.Pattern, p.CommFraction, p.CommShare}] = p.Summary.TotalExecHours
+		}
+	}
+	for _, p := range points {
+		improv := 0.0
+		if b, ok := base[sliceKey{p.Machine, p.Pattern, p.CommFraction, p.CommShare}]; ok {
+			improv = metrics.ImprovementPct(b, p.Summary.TotalExecHours)
+		}
+		row := []string{
+			p.Machine, p.Pattern.String(),
+			strconv.FormatFloat(p.CommFraction, 'g', -1, 64),
+			strconv.FormatFloat(p.CommShare, 'g', -1, 64),
+			p.Algorithm.String(),
+			fmtF(p.Summary.TotalExecHours), fmtF(p.Summary.TotalWaitHours),
+			fmtF(p.Summary.AvgTurnaroundHours), fmtF(p.Summary.TotalNodeHours),
+			fmtF(p.Summary.AvgCommCost), fmtF(p.Summary.MakespanHours),
+			fmtF(improv),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func smallGrid() Grid {
+	return Grid{
+		Machines:      []workload.Preset{workload.Theta},
+		Patterns:      []collective.Pattern{collective.RD, collective.Binomial},
+		CommFractions: []float64{0.3, 0.9},
+		CommShares:    []float64{0.7},
+		Algorithms:    []core.Algorithm{core.Default, core.Adaptive},
+		Jobs:          80,
+		Seed:          5,
+	}
+}
+
+func TestGridSizeAndDefaults(t *testing.T) {
+	g := smallGrid()
+	if got := g.Size(); got != 1*2*2*1*2 {
+		t.Fatalf("Size = %d, want 8", got)
+	}
+	d := Grid{}.withDefaults()
+	if d.Jobs != 500 || len(d.Algorithms) != 4 || len(d.Machines) != 1 {
+		t.Fatalf("defaults: %+v", d)
+	}
+	if (Grid{}).Size() != 4 {
+		t.Fatalf("default Size = %d, want 4", (Grid{}).Size())
+	}
+}
+
+func TestRunGrid(t *testing.T) {
+	points, err := Run(smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("%d points, want 8", len(points))
+	}
+	// Deterministic order: machine, pattern, fraction, share, algorithm.
+	if points[0].Pattern != collective.RD || points[0].CommFraction != 0.3 ||
+		points[0].Algorithm != core.Default {
+		t.Fatalf("first point out of order: %+v", points[0])
+	}
+	for _, p := range points {
+		if p.Summary.Jobs != 80 {
+			t.Fatalf("point %+v has %d jobs", p, p.Summary.Jobs)
+		}
+		if p.Summary.TotalExecHours <= 0 {
+			t.Fatalf("point %+v has no exec time", p)
+		}
+	}
+	// Adaptive should not lose to default at 90% comm.
+	var def, adap float64
+	for _, p := range points {
+		if p.CommFraction == 0.9 && p.Pattern == collective.RD {
+			switch p.Algorithm {
+			case core.Default:
+				def = p.Summary.TotalExecHours
+			case core.Adaptive:
+				adap = p.Summary.TotalExecHours
+			}
+		}
+	}
+	if def == 0 || adap > def*1.02 {
+		t.Fatalf("adaptive %v vs default %v at 90%% comm", adap, def)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	points, err := Run(smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 9 { // header + 8
+		t.Fatalf("%d records, want 9", len(records))
+	}
+	improvCol := len(records[0]) - 1
+	if records[0][improvCol] != "exec_improvement_pct" {
+		t.Fatalf("header = %v", records[0])
+	}
+	for _, rec := range records[1:] {
+		improv, err := strconv.ParseFloat(rec[improvCol], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec[4] == "default" && improv != 0 {
+			t.Fatalf("default improvement %v, want 0", improv)
+		}
+	}
+}
+
+func TestRunGridError(t *testing.T) {
+	g := smallGrid()
+	g.CommFractions = []float64{2.0} // invalid tag fraction
+	if _, err := Run(g); err == nil {
+		t.Fatal("invalid fraction accepted")
+	}
+}

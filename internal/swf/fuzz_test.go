@@ -1,0 +1,43 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the SWF parser never panics and that every accepted log
+// survives a write/parse round trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("; header\n1 0 10 3600 32 -1 -1 32 7200 -1 1 3 4 -1 1 -1 -1 -1\n")
+	f.Add("1 2 3\n")
+	f.Add("")
+	f.Add("; only header\n")
+	f.Add("1 0 10 3600 32 1.5 -1 32 7200 -1 1 3 4 -1 1 -1 -1 -1\nx\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		log, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := log.Write(&buf); err != nil {
+			t.Fatalf("Write failed on accepted log: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back.Jobs) != len(log.Jobs) || len(back.Header) != len(log.Header) {
+			t.Fatalf("round trip changed shape: %d/%d jobs, %d/%d header",
+				len(log.Jobs), len(back.Jobs), len(log.Header), len(back.Header))
+		}
+		for i := range log.Jobs {
+			if log.Jobs[i] != back.Jobs[i] {
+				t.Fatalf("job %d changed: %+v vs %+v", i, log.Jobs[i], back.Jobs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package topology_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+func ExampleParseConfig() {
+	conf := `
+SwitchName=s0 Nodes=n[0-3]
+SwitchName=s1 Nodes=n[4-7]
+SwitchName=s2 Switches=s[0-1]
+`
+	topo, err := topology.ParseConfig(strings.NewReader(conf))
+	if err != nil {
+		panic(err)
+	}
+	n0 := topo.NodeID("n0")
+	fmt.Printf("%d nodes, %d leaves, d(n0,n1)=%d, d(n0,n4)=%d\n",
+		topo.NumNodes(), topo.NumLeaves(),
+		topo.Distance(n0, topo.NodeID("n1")),
+		topo.Distance(n0, topo.NodeID("n4")))
+	// Output: 8 nodes, 2 leaves, d(n0,n1)=2, d(n0,n4)=4
+}
+
+func ExampleGenerate() {
+	topo, err := topology.Generate(topology.Spec{NodesPerLeaf: 4, Fanouts: []int{4, 2}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d nodes, %d leaves, height %d\n",
+		topo.NumNodes(), topo.NumLeaves(), topo.Height())
+	// Output: 32 nodes, 8 leaves, height 3
+}
+
+func ExampleTopology_WriteConfig() {
+	topo := topology.PaperExample()
+	topo.WriteConfig(os.Stdout)
+	// Output:
+	// SwitchName=s0 Nodes=n[0-3]
+	// SwitchName=s1 Nodes=n[4-7]
+	// SwitchName=s2 Switches=s[0-1]
+}

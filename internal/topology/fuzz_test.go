@@ -1,0 +1,72 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig checks the topology.conf parser never panics and that
+// every accepted configuration passes structural validation (consistent
+// distances, complete leaf coverage) and survives a write/parse round trip.
+func FuzzParseConfig(f *testing.F) {
+	f.Add("SwitchName=s0 Nodes=n[0-3]\nSwitchName=s1 Nodes=n[4-7]\nSwitchName=s2 Switches=s[0-1]\n")
+	f.Add("SwitchName=s0 Nodes=n0\n")
+	f.Add("SwitchName=a Nodes=x[0-1]\nSwitchName=b Switches=a\n")
+	f.Add("# comment\nSwitchName=s0 Nodes=n[0-3] LinkSpeed=100\n")
+	f.Add("SwitchName=s0 Switches=s0\n")
+	f.Add("SwitchName=s0 Nodes=n0 Nodes=n1\n")
+	f.Add("garbage\n")
+	f.Fuzz(func(t *testing.T, conf string) {
+		if len(conf) > 4096 {
+			return
+		}
+		topo, err := ParseConfig(strings.NewReader(conf))
+		if err != nil {
+			return
+		}
+		if topo.NumNodes() > 1<<15 {
+			return
+		}
+		// Structural sanity on every accepted topology.
+		if topo.NumLeaves() == 0 || topo.Root == nil {
+			t.Fatalf("accepted topology without leaves/root: %q", conf)
+		}
+		for i := 0; i < topo.NumNodes(); i++ {
+			if topo.NodeID(topo.NodeName(i)) != i {
+				t.Fatalf("node index mismatch for %q", topo.NodeName(i))
+			}
+			if l := topo.LeafOf(i); l < 0 || l >= topo.NumLeaves() {
+				t.Fatalf("node %d on bad leaf %d", i, l)
+			}
+		}
+		probe := topo.NumNodes()
+		if probe > 16 {
+			probe = 16
+		}
+		for i := 0; i < probe; i++ {
+			for j := 0; j < probe; j++ {
+				d := topo.Distance(i, j)
+				if d != topo.Distance(j, i) {
+					t.Fatal("distance asymmetry")
+				}
+				if i == j && d != 0 {
+					t.Fatal("nonzero self distance")
+				}
+				if i != j && (d < 2 || d > 2*topo.Height()) {
+					t.Fatalf("distance %d out of range", d)
+				}
+			}
+		}
+		var buf strings.Builder
+		if err := topo.WriteConfig(&buf); err != nil {
+			t.Fatalf("WriteConfig failed on accepted topology: %v", err)
+		}
+		back, err := ParseConfig(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, buf.String())
+		}
+		if back.NumNodes() != topo.NumNodes() || back.NumLeaves() != topo.NumLeaves() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
