@@ -1,0 +1,28 @@
+GO ?= go
+FUZZTIME ?= 15s
+
+.PHONY: check build vet test race fuzz-smoke verify
+
+check: vet build race fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz runs of both native fuzz targets; CI smoke, not a soak.
+fuzz-smoke:
+	$(GO) test ./internal/core -run FuzzAllocate -fuzz FuzzAllocate -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run FuzzRunContinuous -fuzz FuzzRunContinuous -fuzztime $(FUZZTIME)
+
+# Longer differential sweep (override SEEDS for overnight soaks).
+SEEDS ?= 500
+verify:
+	$(GO) run ./cmd/cawsverify -seeds $(SEEDS)

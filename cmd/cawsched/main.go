@@ -48,17 +48,18 @@ func main() {
 		perJob    = flag.Bool("perjob", false, "print per-job results")
 		csvPath   = flag.String("csv", "", "write per-job results of the last run as CSV to this file")
 		jsonPath  = flag.String("json", "", "write the algorithm comparison as JSON to this file")
+		validate  = flag.Bool("validate", true, "self-audit every run (capacity, ordering, backfill legality, Eq. 7)")
 	)
 	flag.Parse()
 	if err := run(*machine, *topoPath, *logPath, *jobs, *seed, *algName, *patName, *policy,
-		*commFrac, *commShare, *compare, *noBF, *remap, *perJob, *csvPath, *jsonPath); err != nil {
+		*commFrac, *commShare, *compare, *noBF, *remap, *perJob, *validate, *csvPath, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "cawsched:", err)
 		os.Exit(1)
 	}
 }
 
 func run(machine, topoPath, logPath string, jobs int, seed int64, algName, patName, policyName string,
-	commFrac, commShare float64, compare, noBF, remap, perJob bool, csvPath, jsonPath string) error {
+	commFrac, commShare float64, compare, noBF, remap, perJob, validate bool, csvPath, jsonPath string) error {
 	pattern, err := collective.ParsePattern(patName)
 	if err != nil {
 		return err
@@ -120,10 +121,16 @@ func run(machine, topoPath, logPath string, jobs int, seed int64, algName, patNa
 	fmt.Fprintln(w, "algorithm\texec(h)\twait(h)\tavg TAT(h)\tnode-hours\tavg comm cost\tmakespan(h)")
 	var results []*sim.Result
 	for _, alg := range algs {
-		res, err := sim.RunContinuous(sim.Config{
+		cfg := sim.Config{
 			Topology: topo, Algorithm: alg, DisableBackfill: noBF, RankRemap: remap,
 			Policy: policy,
-		}, trace)
+		}
+		var res *sim.Result
+		if validate {
+			res, err = sim.RunContinuousValidated(cfg, trace)
+		} else {
+			res, err = sim.RunContinuous(cfg, trace)
+		}
 		if err != nil {
 			return err
 		}

@@ -11,7 +11,7 @@ func TestRunCompareWithExports(t *testing.T) {
 	csvPath := filepath.Join(dir, "jobs.csv")
 	jsonPath := filepath.Join(dir, "cmp.json")
 	err := run("Theta", "", "", 40, 1, "adaptive", "RHVD", "fifo",
-		0.9, 0.7, true, false, false, false, csvPath, jsonPath)
+		0.9, 0.7, true, false, false, false, true, csvPath, jsonPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestRunCompareWithExports(t *testing.T) {
 
 func TestRunSingleAlgorithmPerJob(t *testing.T) {
 	if err := run("Mira", "", "", 20, 2, "balanced", "RD", "sjf",
-		0.5, 0.6, false, true, true, true, "", ""); err != nil {
+		0.5, 0.6, false, true, true, true, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -44,7 +44,7 @@ func TestRunWithTopologyAndSWF(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := run("", topoPath, swfPath, 0, 1, "greedy", "Binomial", "fifo",
-		1.0, 0.7, false, false, false, false, "", ""); err != nil {
+		1.0, 0.7, false, false, false, false, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -54,13 +54,13 @@ func TestRunErrors(t *testing.T) {
 		name string
 		err  error
 	}{
-		{"bad machine", run("Nope", "", "", 10, 1, "adaptive", "RD", "fifo", 0.9, 0.7, false, false, false, false, "", "")},
-		{"bad algorithm", run("Theta", "", "", 10, 1, "frob", "RD", "fifo", 0.9, 0.7, false, false, false, false, "", "")},
-		{"bad pattern", run("Theta", "", "", 10, 1, "adaptive", "frob", "fifo", 0.9, 0.7, false, false, false, false, "", "")},
-		{"bad policy", run("Theta", "", "", 10, 1, "adaptive", "RD", "frob", 0.9, 0.7, false, false, false, false, "", "")},
-		{"bad fraction", run("Theta", "", "", 10, 1, "adaptive", "RD", "fifo", 1.9, 0.7, false, false, false, false, "", "")},
-		{"missing topology", run("", "/nonexistent/topo.conf", "", 10, 1, "adaptive", "RD", "fifo", 0.9, 0.7, false, false, false, false, "", "")},
-		{"missing log", run("Theta", "", "/nonexistent/log.swf", 10, 1, "adaptive", "RD", "fifo", 0.9, 0.7, false, false, false, false, "", "")},
+		{"bad machine", run("Nope", "", "", 10, 1, "adaptive", "RD", "fifo", 0.9, 0.7, false, false, false, false, true, "", "")},
+		{"bad algorithm", run("Theta", "", "", 10, 1, "frob", "RD", "fifo", 0.9, 0.7, false, false, false, false, true, "", "")},
+		{"bad pattern", run("Theta", "", "", 10, 1, "adaptive", "frob", "fifo", 0.9, 0.7, false, false, false, false, true, "", "")},
+		{"bad policy", run("Theta", "", "", 10, 1, "adaptive", "RD", "frob", 0.9, 0.7, false, false, false, false, true, "", "")},
+		{"bad fraction", run("Theta", "", "", 10, 1, "adaptive", "RD", "fifo", 1.9, 0.7, false, false, false, false, true, "", "")},
+		{"missing topology", run("", "/nonexistent/topo.conf", "", 10, 1, "adaptive", "RD", "fifo", 0.9, 0.7, false, false, false, false, true, "", "")},
+		{"missing log", run("Theta", "", "/nonexistent/log.swf", 10, 1, "adaptive", "RD", "fifo", 0.9, 0.7, false, false, false, false, true, "", "")},
 	}
 	for _, c := range cases {
 		if c.err == nil {

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepClean(t *testing.T) {
+	var out strings.Builder
+	if err := sweep(&out, 1, 3, 10, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "PASS: 3 seeds") {
+		t.Errorf("missing pass line:\n%s", got)
+	}
+	if !strings.Contains(got, "2/3 seeds clean") {
+		t.Errorf("missing progress line:\n%s", got)
+	}
+}
+
+func TestSweepMatrix(t *testing.T) {
+	var out strings.Builder
+	if err := sweep(&out, 5, 1, 8, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"config", "makespan_h", "alg=adaptive mode=effective-hops policy=fifo", "remap"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("matrix output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSweepRejectsEmptyRange(t *testing.T) {
+	var out strings.Builder
+	if err := sweep(&out, 1, 0, 0, 0, false); err == nil {
+		t.Fatal("empty sweep did not error")
+	}
+}

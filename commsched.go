@@ -282,6 +282,18 @@ func ValidateResult(res *SimResult, trace Trace) error {
 	return sim.ValidateResult(res, trace)
 }
 
+// ValidateResultConfig is ValidateResult plus configuration-aware audits:
+// queue-policy ordering with backfilling disabled, and EASY backfill
+// legality with it enabled.
+func ValidateResultConfig(res *SimResult, trace Trace, cfg SimConfig) error {
+	return sim.ValidateResultConfig(res, trace, cfg)
+}
+
+// RunValidated is Run followed by ValidateResultConfig on the result.
+func RunValidated(cfg SimConfig, trace Trace) (*SimResult, error) {
+	return sim.RunContinuousValidated(cfg, trace)
+}
+
 // NewDaemon starts an online scheduling daemon (stop it with Close).
 func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return daemon.New(cfg) }
 

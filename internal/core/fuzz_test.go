@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+// FuzzAllocate drives random allocate/release sequences through every
+// selector over fuzzer-shaped machines and checks the contract the
+// simulator depends on: Select succeeds exactly when the request fits the
+// free node count, returns exactly the requested number of distinct free
+// nodes, and the cluster state stays internally consistent after every
+// commit and release.
+func FuzzAllocate(f *testing.F) {
+	f.Add(uint8(2), uint8(4), []byte{0x13, 0x85, 0x04, 0x00, 0xff, 0x21})
+	f.Add(uint8(5), uint8(7), []byte{0xfe, 0x01, 0x3c, 0x3c, 0x3c, 0x00, 0x00})
+	f.Add(uint8(0x83), uint8(2), []byte{0x11, 0x92, 0x73, 0x54, 0x35, 0x16})
+	f.Add(uint8(1), uint8(1), []byte{0x07})
+	f.Fuzz(func(t *testing.T, leaves, npl uint8, ops []byte) {
+		spec := topology.Spec{NodesPerLeaf: 1 + int(npl%8), Fanouts: []int{1 + int(leaves&0x7f)%6}}
+		if leaves&0x80 != 0 {
+			spec.Fanouts = append(spec.Fanouts, 2+int(npl%3))
+		}
+		topo, err := topology.Generate(spec)
+		if err != nil {
+			t.Fatalf("generate %+v: %v", spec, err)
+		}
+		st := cluster.New(topo)
+		machine := topo.NumNodes()
+		sels := []Selector{MustNew(Default), MustNew(Greedy), MustNew(Balanced),
+			MustNew(Adaptive), MustNew(BalancedNoPow2)}
+		patterns := []collective.Pattern{collective.RD, collective.RHVD,
+			collective.Binomial, collective.Ring}
+
+		next := cluster.JobID(1)
+		var live []cluster.JobID
+		for i, b := range ops {
+			if b&0x3 == 0 && len(live) > 0 {
+				k := int(b>>2) % len(live)
+				if err := st.Release(live[k]); err != nil {
+					t.Fatalf("op %d: release job %d: %v", i, live[k], err)
+				}
+				live = append(live[:k], live[k+1:]...)
+				if err := st.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: after release: %v", i, err)
+				}
+				continue
+			}
+			req := Request{
+				Job:     next,
+				Nodes:   1 + int(b>>2)%(machine+2), // occasionally exceeds the machine
+				Class:   cluster.Class(uint8(i) & 1),
+				Pattern: patterns[i%len(patterns)],
+			}
+			sel := sels[i%len(sels)]
+			free := st.FreeTotal()
+			nodes, err := sel.Select(st, req)
+			if req.Nodes > free {
+				if err == nil {
+					t.Fatalf("op %d: %s satisfied %d nodes with only %d free", i, sel.Name(), req.Nodes, free)
+				}
+				continue
+			}
+			// The engine starts any queue-head job whose size fits the free
+			// count, so a selector failing here would wedge the simulation.
+			if err != nil {
+				t.Fatalf("op %d: %s failed a feasible request (%d of %d free): %v",
+					i, sel.Name(), req.Nodes, free, err)
+			}
+			if len(nodes) != req.Nodes {
+				t.Fatalf("op %d: %s returned %d nodes for a %d-node request", i, sel.Name(), len(nodes), req.Nodes)
+			}
+			seen := make(map[int]bool, len(nodes))
+			for _, n := range nodes {
+				if seen[n] {
+					t.Fatalf("op %d: %s returned node %d twice", i, sel.Name(), n)
+				}
+				seen[n] = true
+				if !st.NodeFree(n) {
+					t.Fatalf("op %d: %s returned busy node %d", i, sel.Name(), n)
+				}
+			}
+			if err := st.Allocate(req.Job, req.Class, nodes); err != nil {
+				t.Fatalf("op %d: committing %s's selection: %v", i, sel.Name(), err)
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: after allocate: %v", i, err)
+			}
+			live = append(live, next)
+			next++
+		}
+		for _, id := range live {
+			if err := st.Release(id); err != nil {
+				t.Fatalf("draining job %d: %v", id, err)
+			}
+		}
+		if st.FreeTotal() != machine {
+			t.Fatalf("drained cluster has %d free of %d", st.FreeTotal(), machine)
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("after drain: %v", err)
+		}
+	})
+}

@@ -129,7 +129,7 @@ func continuousRun(o Options, preset workload.Preset, topo *topology.Topology,
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunContinuous(sim.Config{Topology: topo, Algorithm: alg, CostMode: o.CostMode}, tagged)
+	return sim.RunContinuousValidated(sim.Config{Topology: topo, Algorithm: alg, CostMode: o.CostMode}, tagged)
 }
 
 // algColumns is the table column order used throughout.

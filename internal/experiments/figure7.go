@@ -57,7 +57,7 @@ func Figure7(o Options) (*Figure7Result, error) {
 	for _, alg := range algColumns {
 		alg := alg
 		thunks = append(thunks, func() error {
-			res, err := sim.RunContinuous(sim.Config{Topology: topo, Algorithm: alg, CostMode: o.CostMode}, tagged)
+			res, err := sim.RunContinuousValidated(sim.Config{Topology: topo, Algorithm: alg, CostMode: o.CostMode}, tagged)
 			if err != nil {
 				return fmt.Errorf("figure7 continuous %v: %w", alg, err)
 			}

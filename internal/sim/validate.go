@@ -5,19 +5,30 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
+const validateEps = 1e-6
+
 // ValidateResult cross-checks a continuous run against its input trace:
 // every job appears exactly once with consistent times, dependants start
-// after their dependencies, and a sweep over all start/end events never
-// oversubscribes the machine. It is an independent auditor of the engine
-// (used by integration tests and available to harnesses), not a re-run.
+// after their dependencies, the Eq. 7 runtime model is internally
+// consistent (Exec, CostRatio, CommCost and RefCost agree with the job's
+// mix), and a sweep over all start/end events never oversubscribes the
+// machine. It is an independent auditor of the engine (used by integration
+// tests and the verify harness), not a re-run.
+//
+// ValidateResult checks only properties that hold under every Config; use
+// ValidateResultConfig to additionally audit queue ordering and EASY
+// backfill legality, which depend on the policy and backfill settings.
 func ValidateResult(res *Result, trace workload.Trace) error {
 	if len(res.Jobs) != len(trace.Jobs) {
 		return fmt.Errorf("sim: %d results for %d jobs", len(res.Jobs), len(trace.Jobs))
 	}
-	const eps = 1e-6
+	const eps = validateEps
 	byID := make(map[int64]int, len(res.Jobs))
 	for i, r := range res.Jobs {
 		j := trace.Jobs[i]
@@ -42,6 +53,9 @@ func ValidateResult(res *Result, trace workload.Trace) error {
 		}
 		if !r.Comm && math.Abs(r.Exec-j.Runtime) > eps {
 			return fmt.Errorf("sim: compute job %d exec %v != runtime %v", r.ID, r.Exec, j.Runtime)
+		}
+		if err := validateRuntimeModel(r, j); err != nil {
+			return err
 		}
 	}
 	// Dependencies: start after the dependency's end plus think time.
@@ -85,4 +99,354 @@ func ValidateResult(res *Result, trace workload.Trace) error {
 		return fmt.Errorf("sim: %d nodes still in use after all events", inUse)
 	}
 	return nil
+}
+
+// validateRuntimeModel checks one job's Eq. 7 bookkeeping. The engine
+// guarantees Exec = Base·(ComputeFrac + CommFrac·CostRatio) clamped to at
+// least one second, with CostRatio the communication-weighted mean ratio,
+// and for single-collective jobs CostRatio = CommCost/RefCost (or 1 when
+// the reference cost is zero). Compute jobs and degenerate comm jobs
+// (single node, no collective components) must pass through unchanged.
+func validateRuntimeModel(r metrics.JobResult, j workload.Job) error {
+	if r.CostRatio <= 0 {
+		return fmt.Errorf("sim: job %d has cost ratio %v", r.ID, r.CostRatio)
+	}
+	if r.CommCost < 0 || r.RefCost < 0 {
+		return fmt.Errorf("sim: job %d has negative cost (%v, %v)", r.ID, r.CommCost, r.RefCost)
+	}
+	degenerate := j.Class != cluster.CommIntensive || len(j.Mix.Comms) == 0 || j.Nodes <= 1
+	if degenerate {
+		if r.CostRatio != 1 {
+			return fmt.Errorf("sim: job %d untouched by the runtime model but ratio %v", r.ID, r.CostRatio)
+		}
+		if math.Abs(r.Exec-j.Runtime) > validateEps {
+			return fmt.Errorf("sim: job %d untouched by the runtime model but exec %v != runtime %v",
+				r.ID, r.Exec, j.Runtime)
+		}
+		return nil
+	}
+	// CostRatio must equal the primary pattern's cost ratio whenever the mix
+	// has exactly one collective component (the weighted mean degenerates).
+	if len(j.Mix.Comms) == 1 {
+		want := costmodel.RuntimeRatio(r.CommCost, r.RefCost)
+		if math.Abs(r.CostRatio-want) > validateEps*math.Max(1, want) {
+			return fmt.Errorf("sim: job %d cost ratio %v != CommCost/RefCost = %v/%v = %v",
+				r.ID, r.CostRatio, r.CommCost, r.RefCost, want)
+		}
+	}
+	// Eq. 7: Exec = Base·ComputeFrac + Base·Σ_k frac_k·ratio_k, and CostRatio
+	// is the frac-weighted mean of the ratios, so Exec must equal
+	// Base·(ComputeFrac + CommFrac·CostRatio), clamped to ≥ 1 s.
+	want := j.Runtime * (j.Mix.ComputeFrac + j.Mix.CommFrac()*r.CostRatio)
+	if want < 1 {
+		want = 1
+	}
+	if math.Abs(r.Exec-want) > validateEps*math.Max(1, want) {
+		return fmt.Errorf("sim: job %d exec %v inconsistent with Eq. 7: base %v × (%v + %v×%v) = %v",
+			r.ID, r.Exec, j.Runtime, j.Mix.ComputeFrac, j.Mix.CommFrac(), r.CostRatio, want)
+	}
+	return nil
+}
+
+// ValidateResultConfig is ValidateResult plus configuration-aware audits:
+// with backfilling disabled no job may start while a policy-earlier
+// eligible job waits, and with backfilling enabled every backfilled start
+// must have been legal under the EASY rule (the job either fit in the
+// nodes spare at the head job's shadow time or its walltime estimate ended
+// before the shadow). Checks that cannot be decided unambiguously from the
+// result alone (simultaneous events, eligibility ties under FIFO with
+// dependencies) are skipped rather than guessed, so the audit never
+// produces false positives on a correct engine.
+func ValidateResultConfig(res *Result, trace workload.Trace, cfg Config) error {
+	if err := ValidateResult(res, trace); err != nil {
+		return err
+	}
+	a := newAuditor(res, trace, cfg)
+	if cfg.DisableBackfill {
+		return a.checkNoBackfillOrder()
+	}
+	return a.checkBackfillLegality()
+}
+
+// RunContinuousValidated is RunContinuous followed by the full
+// configuration-aware audit: the result is returned only if it passes
+// ValidateResultConfig. Production entry points (sweeps, experiment
+// runners, the CLI) use this so an engine regression surfaces as an error
+// instead of silently skewed tables.
+func RunContinuousValidated(cfg Config, trace workload.Trace) (*Result, error) {
+	res, err := RunContinuous(cfg, trace)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateResultConfig(res, trace, cfg); err != nil {
+		return nil, fmt.Errorf("sim: result failed self-audit: %w", err)
+	}
+	return res, nil
+}
+
+// auditor holds the reconstructed schedule state shared by the
+// config-aware checks.
+type auditor struct {
+	res   *Result
+	trace workload.Trace
+	cfg   Config
+	// elig[i] is the time job i entered the waiting queue:
+	// max(Submit, dependency End + ThinkTime).
+	elig    []float64
+	hasDeps bool
+}
+
+func newAuditor(res *Result, trace workload.Trace, cfg Config) *auditor {
+	a := &auditor{res: res, trace: trace, cfg: cfg, elig: make([]float64, len(trace.Jobs))}
+	byID := make(map[int64]int, len(trace.Jobs))
+	for i, r := range res.Jobs {
+		byID[r.ID] = i
+	}
+	for i, j := range trace.Jobs {
+		a.elig[i] = j.Submit
+		if j.DependsOn != 0 {
+			a.hasDeps = true
+			if di, ok := byID[int64(j.DependsOn)]; ok {
+				if t := res.Jobs[di].End + j.ThinkTime; t > a.elig[i] {
+					a.elig[i] = t
+				}
+			}
+		}
+	}
+	return a
+}
+
+// policyBefore reports whether job i is ordered ahead of job k in the
+// waiting queue, and whether that ordering is decidable from the result.
+// Non-FIFO policies order by Policy.less (a total order). FIFO queues in
+// arrival order: index order without dependencies, eligibility order with
+// them — eligibility ties are ambiguous (the engine breaks them by event
+// sequence, which the result does not record).
+func (a *auditor) policyBefore(i, k int) (before, known bool) {
+	if a.cfg.Policy != FIFO {
+		return a.cfg.Policy.less(a.trace.Jobs, i, k), true
+	}
+	if !a.hasDeps {
+		return i < k, true
+	}
+	if a.elig[i] != a.elig[k] {
+		return a.elig[i] < a.elig[k], true
+	}
+	return false, false
+}
+
+// checkNoBackfillOrder verifies strict policy order: a job may not start
+// while a policy-earlier job is eligible and still waiting.
+func (a *auditor) checkNoBackfillOrder() error {
+	for k := range a.res.Jobs {
+		t := a.res.Jobs[k].Start
+		for i := range a.res.Jobs {
+			if i == k || a.elig[i] >= t || a.res.Jobs[i].Start <= t {
+				continue
+			}
+			if before, known := a.policyBefore(i, k); known && before {
+				return fmt.Errorf("sim: backfill disabled but job %d started at %v while policy-earlier job %d (eligible %v) waited",
+					a.res.Jobs[k].ID, t, a.res.Jobs[i].ID, a.elig[i])
+			}
+		}
+	}
+	return nil
+}
+
+// estEnd returns the completion time the scheduler planned with for job i
+// started at res.Jobs[i].Start: start plus the larger of the actual
+// execution time and the walltime estimate (mirroring engine.start).
+func (a *auditor) estEnd(i int) float64 {
+	r := a.res.Jobs[i]
+	est := a.trace.Jobs[i].EstimatedRuntime()
+	if r.Exec > est {
+		return r.Start + r.Exec
+	}
+	return r.Start + est
+}
+
+// checkBackfillLegality audits backfilled starts against the EASY rule,
+// one scheduling pass (start instant) at a time. An instant t is audited
+// only when the engine state is exactly reconstructable from the result:
+// at most one triggering event (a completion or an arrival) falls on t, so
+// all starts at t belong to a single schedule pass whose running set and
+// waiting queue are known. The pass is then replayed: jobs queued ahead of
+// the waiting head started from the head loop; every job queued behind it
+// is a backfill that must either finish (by its walltime estimate) before
+// the head's shadow time or fit the extra node pool, which drains as
+// shadow-outliving backfills consume it. Ambiguous instants (event-time
+// collisions, eligibility ties under FIFO with dependencies) are skipped
+// rather than guessed, so a correct engine is never falsely flagged.
+func (a *auditor) checkBackfillLegality() error {
+	starts := make(map[float64][]int)
+	for i := range a.res.Jobs {
+		starts[a.res.Jobs[i].Start] = append(starts[a.res.Jobs[i].Start], i)
+	}
+	for t, started := range starts {
+		// Triggering events at t: completions, and arrivals (jobs becoming
+		// eligible). More than one means multiple passes at t with unknowable
+		// interleaving — skip. Exactly one pending arrival is fine only when
+		// it is the pass trigger, i.e. there is no completion besides it.
+		ends, arrivals := 0, 0
+		pendingArrival := -1
+		for i := range a.res.Jobs {
+			if a.res.Jobs[i].End == t {
+				ends++
+			}
+			if a.elig[i] == t {
+				arrivals++
+				if a.res.Jobs[i].Start > t {
+					pendingArrival = i
+				}
+			}
+		}
+		if ends+arrivals > 1 {
+			continue
+		}
+		// Waiting queue at t: eligible strictly before t and not yet
+		// started, plus an arrival at t that stayed queued (it triggered the
+		// pass, so it was in the queue when the pass ran).
+		var waiting []int
+		for i := range a.res.Jobs {
+			if a.res.Jobs[i].Start <= t {
+				continue
+			}
+			if a.elig[i] < t || i == pendingArrival {
+				waiting = append(waiting, i)
+			}
+		}
+		if len(waiting) == 0 {
+			continue // nothing reserved, every start was a head start
+		}
+		head, ambiguous := a.policyMin(waiting)
+		if ambiguous {
+			continue
+		}
+		// Split the pass's starts into the head-loop prefix (queued ahead of
+		// the head) and backfills (queued behind it), in policy order.
+		var prefix, backfills []int
+		skip := false
+		for _, s := range started {
+			before, known := a.policyBefore(s, head)
+			if !known {
+				skip = true
+				break
+			}
+			if before {
+				prefix = append(prefix, s)
+			} else {
+				backfills = append(backfills, s)
+			}
+		}
+		if skip || len(backfills) == 0 {
+			continue
+		}
+		if !sortPolicy(a, backfills) {
+			continue // relative order of two backfills undecidable
+		}
+		shadow, extra, ok := a.reservationAt(t, started, prefix, a.trace.Jobs[head].Nodes)
+		if !ok {
+			continue
+		}
+		for _, b := range backfills {
+			finishesBeforeShadow := t+a.trace.Jobs[b].EstimatedRuntime() <= shadow+validateEps
+			fitsExtra := a.trace.Jobs[b].Nodes <= extra
+			if !finishesBeforeShadow && !fitsExtra {
+				return fmt.Errorf("sim: job %d (%d nodes, est %v) backfilled at %v past waiting job %d but neither finishes before the shadow time %v nor fits the %d extra nodes",
+					a.res.Jobs[b].ID, a.trace.Jobs[b].Nodes, a.trace.Jobs[b].EstimatedRuntime(),
+					t, a.res.Jobs[head].ID, shadow, extra)
+			}
+			if !finishesBeforeShadow {
+				extra -= a.trace.Jobs[b].Nodes
+			}
+		}
+	}
+	return nil
+}
+
+// policyMin returns the policy-first member of the waiting set, or
+// ambiguous=true when any pairwise order is undecidable.
+func (a *auditor) policyMin(waiting []int) (head int, ambiguous bool) {
+	head = waiting[0]
+	for _, i := range waiting[1:] {
+		before, known := a.policyBefore(i, head)
+		if !known {
+			return 0, true
+		}
+		if before {
+			head = i
+		}
+	}
+	// A tie anywhere in the set can hide the true head; verify the chosen
+	// head is decidably ahead of every other member.
+	for _, i := range waiting {
+		if i == head {
+			continue
+		}
+		if _, known := a.policyBefore(head, i); !known {
+			return 0, true
+		}
+	}
+	return head, false
+}
+
+// sortPolicy orders job indexes by queue position in place; false when any
+// pairwise comparison is undecidable.
+func sortPolicy(a *auditor, idx []int) bool {
+	ok := true
+	sort.SliceStable(idx, func(x, y int) bool {
+		before, known := a.policyBefore(idx[x], idx[y])
+		if !known {
+			ok = false
+		}
+		return known && before
+	})
+	return ok
+}
+
+// reservationAt recomputes the EASY shadow time and extra node count the
+// engine saw in the pass at time t: jobs running strictly across t plus
+// the pass's head-loop prefix (already allocated when the reservation was
+// computed), for a head job needing `need` nodes. started lists every job
+// beginning at t (all excluded from the strictly-running set).
+func (a *auditor) reservationAt(t float64, started, prefix []int, need int) (shadow float64, extra int, ok bool) {
+	startedAtT := make(map[int]bool, len(started))
+	for _, s := range started {
+		startedAtT[s] = true
+	}
+	free := a.trace.MachineNodes
+	type run struct {
+		idx    int
+		estEnd float64
+		nodes  int
+	}
+	var running []run
+	for i := range a.res.Jobs {
+		if startedAtT[i] || a.res.Jobs[i].Start > t || a.res.Jobs[i].End <= t {
+			continue
+		}
+		free -= a.res.Jobs[i].Nodes
+		running = append(running, run{i, a.estEnd(i), a.res.Jobs[i].Nodes})
+	}
+	for _, s := range prefix {
+		free -= a.res.Jobs[s].Nodes
+		running = append(running, run{s, a.estEnd(s), a.res.Jobs[s].Nodes})
+	}
+	if need <= free {
+		return t, free - need, true
+	}
+	// (estEnd, job index) mirrors the engine's reservation tie-break.
+	sort.Slice(running, func(x, y int) bool {
+		if running[x].estEnd != running[y].estEnd {
+			return running[x].estEnd < running[y].estEnd
+		}
+		return running[x].idx < running[y].idx
+	})
+	for _, r := range running {
+		free += r.nodes
+		if free >= need {
+			return r.estEnd, free - need, true
+		}
+	}
+	return 0, 0, false
 }

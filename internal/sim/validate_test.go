@@ -91,3 +91,132 @@ func TestValidateResultCatchesCorruption(t *testing.T) {
 		t.Error("missing results accepted")
 	}
 }
+
+// The runtime-model checks (Eq. 7 consistency, cost-ratio bookkeeping)
+// catch deliberately corrupted per-job cost fields.
+func TestValidateResultCatchesRuntimeModelCorruption(t *testing.T) {
+	trace := smallTrace()
+	res, err := RunContinuous(Config{Topology: topology.PaperExample(), Algorithm: core.Balanced}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateResult(res, trace); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(jobs []metrics.JobResult)) error {
+		bad := &Result{Algorithm: res.Algorithm,
+			Jobs: append([]metrics.JobResult(nil), res.Jobs...)}
+		mutate(bad.Jobs)
+		return ValidateResult(bad, trace)
+	}
+	// Job 0 is comm-intensive with a single RD component (see smallTrace).
+	if err := corrupt(func(js []metrics.JobResult) { js[0].CostRatio = 0 }); err == nil {
+		t.Error("zero cost ratio accepted")
+	}
+	if err := corrupt(func(js []metrics.JobResult) { js[0].CostRatio *= 2 }); err == nil {
+		t.Error("cost ratio inconsistent with Eq. 7 accepted")
+	}
+	if err := corrupt(func(js []metrics.JobResult) { js[0].CommCost = -1 }); err == nil {
+		t.Error("negative comm cost accepted")
+	}
+	if err := corrupt(func(js []metrics.JobResult) {
+		// Break CostRatio == CommCost/RefCost while keeping Eq. 7 intact.
+		js[0].CommCost = js[0].CommCost*js[0].CostRatio + 1
+		js[0].RefCost = js[0].CommCost * 2
+	}); err == nil {
+		t.Error("cost ratio != CommCost/RefCost accepted")
+	}
+	if err := corrupt(func(js []metrics.JobResult) {
+		// Shift exec without touching the ratio: Eq. 7 must fire.
+		js[0].Exec += 17
+		js[0].End = js[0].Start + js[0].Exec
+	}); err == nil {
+		t.Error("exec inconsistent with Eq. 7 accepted")
+	}
+	// Job 1 is compute-intensive: the model must leave it untouched.
+	if err := corrupt(func(js []metrics.JobResult) { js[1].CostRatio = 1.5 }); err == nil {
+		t.Error("compute job with non-unit ratio accepted")
+	}
+}
+
+// ValidateResultConfig passes for correct runs across configurations and
+// rejects schedules that violate policy order or EASY backfill legality.
+func TestValidateResultConfig(t *testing.T) {
+	trace := smallTrace()
+	topo := topology.PaperExample()
+	for _, cfg := range []Config{
+		{Topology: topo, Algorithm: core.Adaptive},
+		{Topology: topo, Algorithm: core.Adaptive, DisableBackfill: true},
+		{Topology: topo, Algorithm: core.Greedy, Policy: SJF},
+		{Topology: topo, Algorithm: core.Default, Policy: WidestFirst, DisableBackfill: true},
+	} {
+		res, err := RunContinuous(cfg, trace)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if err := ValidateResultConfig(res, trace, cfg); err != nil {
+			t.Errorf("correct run rejected (backfill off=%v policy=%v): %v",
+				cfg.DisableBackfill, cfg.Policy, err)
+		}
+	}
+}
+
+func TestValidateResultConfigCatchesIllegalOrder(t *testing.T) {
+	// Machine of 8; job 1 occupies half, job 2 wants the full machine and
+	// must wait, job 3 is small. With backfill disabled job 3 must not jump
+	// job 2; with backfill enabled it may only jump legally.
+	trace := workload.Trace{
+		Name:         "order",
+		MachineNodes: 8,
+		Jobs: []workload.Job{
+			{ID: 1, Submit: 0, Runtime: 100, Nodes: 4},
+			{ID: 2, Submit: 10, Runtime: 100, Nodes: 8},
+			{ID: 3, Submit: 20, Runtime: 1000, Nodes: 4, Estimate: 1000},
+		},
+	}
+	topo := topology.PaperExample()
+	cfgOff := Config{Topology: topo, Algorithm: core.Default, DisableBackfill: true}
+	res, err := RunContinuous(cfgOff, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateResultConfig(res, trace, cfgOff); err != nil {
+		t.Fatalf("legal no-backfill run rejected: %v", err)
+	}
+	// Corrupt: start job 3 at t=20 while job 2 (eligible at 10) still waits.
+	bad := &Result{Algorithm: res.Algorithm,
+		Jobs: append([]metrics.JobResult(nil), res.Jobs...)}
+	bad.Jobs[2].Start = 20
+	bad.Jobs[2].End = bad.Jobs[2].Start + bad.Jobs[2].Exec
+	if err := ValidateResultConfig(bad, trace, cfgOff); err == nil {
+		t.Error("no-backfill order violation accepted")
+	}
+	// Same corrupted schedule under backfill: job 3's estimate (1000 s)
+	// overruns the shadow time (job 1 ends at 100) and its 4 nodes exceed
+	// the 0 extra nodes, so the EASY audit must fire too.
+	cfgOn := Config{Topology: topo, Algorithm: core.Default}
+	if err := ValidateResultConfig(bad, trace, cfgOn); err == nil {
+		t.Error("illegal backfill accepted")
+	}
+	// A legal backfill of the same shape must pass: shrink job 3's estimate
+	// and runtime so it finishes before the shadow time.
+	legal := workload.Trace{
+		Name:         "legal",
+		MachineNodes: 8,
+		Jobs: []workload.Job{
+			{ID: 1, Submit: 0, Runtime: 100, Nodes: 4},
+			{ID: 2, Submit: 10, Runtime: 100, Nodes: 8},
+			{ID: 3, Submit: 20, Runtime: 30, Nodes: 4, Estimate: 30},
+		},
+	}
+	res2, err := RunContinuous(cfgOn, legal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Jobs[2].Start != 20 {
+		t.Fatalf("expected job 3 to backfill at 20, started %v", res2.Jobs[2].Start)
+	}
+	if err := ValidateResultConfig(res2, legal, cfgOn); err != nil {
+		t.Errorf("legal backfill rejected: %v", err)
+	}
+}

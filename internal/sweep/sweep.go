@@ -117,7 +117,7 @@ func Run(g Grid) ([]Point, error) {
 							tagged, err := trace.Tag(frac, collective.SinglePattern(pat, share), g.Seed+17)
 							if err == nil {
 								var res *sim.Result
-								res, err = sim.RunContinuous(sim.Config{
+								res, err = sim.RunContinuousValidated(sim.Config{
 									Topology: topo, Algorithm: alg,
 									CostMode: g.CostMode, Policy: g.Policy,
 								}, tagged)

@@ -1,0 +1,28 @@
+package verify
+
+import (
+	"testing"
+)
+
+// FuzzRunContinuous feeds the differential harness fuzzer-chosen (trace
+// seed, trace length, matrix cell) triples: one full simulation per input,
+// audited by sim.ValidateResultConfig, conservation-checked, and — when
+// the cell is a metamorphic representative — replayed shifted. The corpus
+// seeds cover both remap cells and both backfill settings.
+func FuzzRunContinuous(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(24), uint8(17))
+	f.Add(int64(42), uint8(40), uint8(90)) // remap cell
+	f.Add(int64(1031), uint8(12), uint8(46))
+	f.Fuzz(func(t *testing.T, seed int64, jobs, cell uint8) {
+		spec := DefaultSpec(seed)
+		if jobs > 0 {
+			spec.Jobs = 1 + int(jobs)%60
+		}
+		configs := AllConfigs()
+		cfg := configs[int(cell)%len(configs)]
+		if err := DifferentialConfigs(spec, []RunConfig{cfg}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+// Package verify is the simulator's correctness harness: a seeded random
+// trace generator plus a differential runner that executes every
+// (algorithm × cost mode × backfill × policy) configuration over the same
+// generated trace and checks three layers of properties — per-run
+// invariants (sim.ValidateResultConfig), cross-configuration metamorphic
+// properties (compute-only traces schedule identically under every
+// allocator; shifting all submit times shifts the schedule rigidly;
+// repeated runs are byte-identical), and conservation checks against
+// internal/metrics. Failures carry a minimal reproducer (seed + config)
+// so overnight sweeps reduce to a one-line `go test` invocation.
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TraceSpec fully determines one generated (topology, trace) pair. Every
+// field participates in the reproducer string; DefaultSpec derives all of
+// them from a single seed.
+type TraceSpec struct {
+	Seed int64
+	// Jobs is the trace length.
+	Jobs int
+	// Leaves and NodesPerLeaf shape the machine; Pods > 1 inserts a
+	// mid-switch level (three-level tree) with Pods groups of Leaves.
+	Leaves, NodesPerLeaf, Pods int
+	// CommFraction of jobs is tagged communication-intensive (0 generates
+	// the compute-only traces the metamorphic layer needs).
+	CommFraction float64
+	// DepFraction of jobs depends on a random earlier job with a random
+	// think time (including zero).
+	DepFraction float64
+	// BadEstFraction of jobs carries a walltime estimate between 0.3× and
+	// 3.3× the true runtime; the rest have exact estimates.
+	BadEstFraction float64
+	// Load is the offered load (node-seconds per second over machine size)
+	// the arrival process targets; > 1 forces deep queues.
+	Load float64
+}
+
+// String renders the spec as its reproducer form.
+func (s TraceSpec) String() string {
+	return fmt.Sprintf("seed=%d jobs=%d leaves=%d npl=%d pods=%d comm=%.3f dep=%.3f badest=%.3f load=%.3f",
+		s.Seed, s.Jobs, s.Leaves, s.NodesPerLeaf, s.Pods, s.CommFraction,
+		s.DepFraction, s.BadEstFraction, s.Load)
+}
+
+// DefaultSpec derives a randomized-but-deterministic spec from a seed:
+// machines of 4–144 nodes over two- or three-level trees, 15–60 jobs,
+// and a mix of comm fractions (including compute-only), dependency
+// fractions, bad estimates and offered loads.
+func DefaultSpec(seed int64) TraceSpec {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	s := TraceSpec{
+		Seed:         seed,
+		Jobs:         15 + rng.Intn(46),
+		Leaves:       2 + rng.Intn(5),
+		NodesPerLeaf: 2 + rng.Intn(7),
+		Pods:         1,
+		Load:         0.5 + rng.Float64()*1.2,
+	}
+	if rng.Float64() < 0.3 {
+		s.Pods = 2 + rng.Intn(2)
+	}
+	if rng.Float64() >= 0.2 { // every ~5th trace is compute-only
+		s.CommFraction = 0.2 + 0.8*rng.Float64()
+	}
+	if rng.Float64() < 0.5 {
+		s.DepFraction = 0.4 * rng.Float64()
+	}
+	if rng.Float64() < 0.5 {
+		s.BadEstFraction = rng.Float64()
+	}
+	return s
+}
+
+// genPatterns are the collective patterns the generator draws from —
+// every pattern the cost model can schedule, not only the paper's three.
+var genPatterns = []collective.Pattern{
+	collective.RD, collective.RHVD, collective.Binomial, collective.Ring,
+}
+
+// Build materialises the spec: a generated tree topology and a valid
+// trace. Submit times and runtimes are continuous (never rounded) so
+// event-time collisions — which would make backfill audits ambiguous —
+// have probability zero.
+func (s TraceSpec) Build() (*topology.Topology, workload.Trace, error) {
+	if s.Jobs <= 0 || s.Leaves <= 0 || s.NodesPerLeaf <= 0 || s.Load <= 0 {
+		return nil, workload.Trace{}, fmt.Errorf("verify: non-positive spec dimension in %v", s)
+	}
+	fanouts := []int{s.Leaves}
+	if s.Pods > 1 {
+		fanouts = []int{s.Leaves, s.Pods}
+	}
+	topo, err := topology.Generate(topology.Spec{NodesPerLeaf: s.NodesPerLeaf, Fanouts: fanouts})
+	if err != nil {
+		return nil, workload.Trace{}, err
+	}
+	machine := topo.NumNodes()
+	rng := rand.New(rand.NewSource(s.Seed))
+	maxExp := int(math.Floor(math.Log2(float64(machine))))
+
+	jobs := make([]workload.Job, s.Jobs)
+	totalNodeSec := 0.0
+	for i := range jobs {
+		var nodes int
+		switch draw := rng.Float64(); {
+		case draw < 0.40:
+			nodes = 1 << rng.Intn(maxExp+1)
+		case draw < 0.80:
+			nodes = 1 + rng.Intn(machine)
+		case draw < 0.95:
+			nodes = 1
+		default:
+			nodes = machine
+		}
+		runtime := 30 + rng.ExpFloat64()*600
+		estimate := 0.0 // exact
+		if rng.Float64() < s.BadEstFraction {
+			estimate = runtime * (0.3 + 3*rng.Float64())
+		}
+		jobs[i] = workload.Job{
+			ID:       cluster.JobID(i + 1),
+			Nodes:    nodes,
+			Runtime:  runtime,
+			Estimate: estimate,
+		}
+		if rng.Float64() < s.CommFraction {
+			jobs[i].Class = cluster.CommIntensive
+			jobs[i].Mix = s.randomMix(rng)
+		} else {
+			jobs[i].Class = cluster.ComputeIntensive
+			jobs[i].Mix = collective.Mix{ComputeFrac: 1}
+		}
+		totalNodeSec += float64(nodes) * runtime
+	}
+	// Poisson arrivals at the target offered load; bursty by construction
+	// (exponential gaps produce clustered submits).
+	meanGap := totalNodeSec / (s.Load * float64(machine)) / float64(s.Jobs)
+	now := 0.0
+	for i := range jobs {
+		jobs[i].Submit = now
+		now += rng.ExpFloat64() * meanGap
+	}
+	// Dependencies on earlier jobs, half with think times.
+	for i := 1; i < len(jobs); i++ {
+		if rng.Float64() >= s.DepFraction {
+			continue
+		}
+		jobs[i].DependsOn = jobs[rng.Intn(i)].ID
+		if rng.Float64() < 0.5 {
+			jobs[i].ThinkTime = rng.Float64() * 200
+		}
+	}
+	trace := workload.Trace{
+		Name:         fmt.Sprintf("verify-%d", s.Seed),
+		MachineNodes: machine,
+		Jobs:         jobs,
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, workload.Trace{}, fmt.Errorf("verify: generated invalid trace (%v): %w", s, err)
+	}
+	return topo, trace, nil
+}
+
+// randomMix draws a single- or two-component communication mix with a
+// communication share between 10% and 90%.
+func (s TraceSpec) randomMix(rng *rand.Rand) collective.Mix {
+	share := 0.1 + 0.8*rng.Float64()
+	p := genPatterns[rng.Intn(len(genPatterns))]
+	if rng.Float64() < 0.7 {
+		return collective.SinglePattern(p, share)
+	}
+	q := genPatterns[rng.Intn(len(genPatterns))]
+	split := 0.2 + 0.6*rng.Float64()
+	return collective.Mix{
+		Name:        "gen2",
+		ComputeFrac: 1 - share,
+		Comms: []collective.Component{
+			{Pattern: p, Frac: share * split},
+			{Pattern: q, Frac: share * (1 - split)},
+		},
+	}
+}
+
+// Shifted returns a copy of the trace with every submit time moved by
+// delta — the input transform for the rigid-shift metamorphic property.
+func Shifted(t workload.Trace, delta float64) workload.Trace {
+	out := t
+	out.Jobs = append([]workload.Job(nil), t.Jobs...)
+	for i := range out.Jobs {
+		out.Jobs[i].Submit += delta
+	}
+	return out
+}

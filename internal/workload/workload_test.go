@@ -264,3 +264,76 @@ func TestDiurnalArrivals(t *testing.T) {
 		t.Fatalf("diurnal CV %v <= flat CV %v", cv(b), cv(a))
 	}
 }
+
+// TestValidateEdgeCases mutates a small valid trace one field at a time and
+// checks each rejection path of Trace.Validate, plus the accepted
+// borderline cases (duplicate IDs are legal while no job uses DependsOn;
+// ID 0 in DependsOn means "no dependency", never a reference to job 0).
+func TestValidateEdgeCases(t *testing.T) {
+	base := func() Trace {
+		return Trace{
+			Name:         "edge",
+			MachineNodes: 16,
+			Jobs: []Job{
+				{ID: 1, Submit: 0, Runtime: 100, Nodes: 4},
+				{ID: 2, Submit: 10, Runtime: 50, Nodes: 16},
+				{ID: 3, Submit: 20, Runtime: 30, Nodes: 1, DependsOn: 1, ThinkTime: 5},
+			},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base trace invalid: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Trace)
+		wantErr bool
+	}{
+		{"self-dependency", func(tr *Trace) { tr.Jobs[2].DependsOn = 3 }, true},
+		{"unknown dependency", func(tr *Trace) { tr.Jobs[2].DependsOn = 99 }, true},
+		{"later dependency", func(tr *Trace) { tr.Jobs[0].DependsOn = 2 }, true},
+		{"zero runtime", func(tr *Trace) { tr.Jobs[1].Runtime = 0 }, true},
+		{"negative runtime", func(tr *Trace) { tr.Jobs[1].Runtime = -1 }, true},
+		{"negative estimate", func(tr *Trace) { tr.Jobs[0].Estimate = -10 }, true},
+		{"negative think time", func(tr *Trace) { tr.Jobs[2].ThinkTime = -1 }, true},
+		{"zero nodes", func(tr *Trace) { tr.Jobs[0].Nodes = 0 }, true},
+		{"oversized request", func(tr *Trace) { tr.Jobs[1].Nodes = 17 }, true},
+		{"unsorted submits", func(tr *Trace) { tr.Jobs[2].Submit = 5 }, true},
+		{"duplicate ID with dependencies", func(tr *Trace) { tr.Jobs[1].ID = 1 }, true},
+		{"invalid comm mix", func(tr *Trace) {
+			tr.Jobs[0].Class = cluster.CommIntensive
+			tr.Jobs[0].Mix = collective.Mix{ComputeFrac: 0.2} // fractions sum to 0.2
+		}, true},
+		{"duplicate ID without dependencies", func(tr *Trace) {
+			tr.Jobs[2].DependsOn = 0
+			tr.Jobs[1].ID = 1
+		}, false},
+		{"exact machine-size request", func(tr *Trace) { tr.Jobs[0].Nodes = 16 }, false},
+		{"equal submits", func(tr *Trace) { tr.Jobs[1].Submit = 0 }, false},
+		{"zero estimate means exact", func(tr *Trace) { tr.Jobs[0].Estimate = 0 }, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := base()
+			c.mutate(&tr)
+			err := tr.Validate()
+			if c.wantErr && err == nil {
+				t.Errorf("accepted: %s", c.name)
+			}
+			if !c.wantErr && err != nil {
+				t.Errorf("rejected: %v", err)
+			}
+		})
+	}
+}
+
+// EstimatedRuntime falls back to the exact runtime only when no estimate
+// is present.
+func TestEstimatedRuntime(t *testing.T) {
+	if got := (Job{Runtime: 50}).EstimatedRuntime(); got != 50 {
+		t.Errorf("exact estimate: got %v, want 50", got)
+	}
+	if got := (Job{Runtime: 50, Estimate: 80}).EstimatedRuntime(); got != 80 {
+		t.Errorf("user estimate: got %v, want 80", got)
+	}
+}
