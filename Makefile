@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check build vet test race fuzz-smoke verify
+.PHONY: check build vet test race fuzz-smoke verify bench bench-smoke
 
 check: vet build race fuzz-smoke
 
@@ -26,3 +26,16 @@ fuzz-smoke:
 SEEDS ?= 500
 verify:
 	$(GO) run ./cmd/cawsverify -seeds $(SEEDS)
+
+# Fast-path micro-benchmarks with their opt/ref speedup pairs, recorded as
+# a dated JSON artifact (BENCH_<date>.json, committed for the perf PRs).
+BENCHTIME ?= 1s
+BENCH_PKGS = ./internal/core ./internal/costmodel ./internal/sim ./internal/cluster
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSelect|BenchmarkJobCost$$|BenchmarkRunContinuous$$|BenchmarkAllocateRelease' \
+		-benchtime $(BENCHTIME) -benchmem -json $(BENCH_PKGS) > BENCH_$$(date +%F).json
+	@echo "wrote BENCH_$$(date +%F).json"
+
+# One iteration per benchmark: proves they still compile and run (CI).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)

@@ -24,27 +24,46 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/profiling"
 	"repro/internal/verify"
 )
 
 func main() {
 	var (
-		start  = flag.Int64("start", 1, "first trace seed")
-		seeds  = flag.Int("seeds", 100, "number of consecutive seeds to verify")
-		jobs   = flag.Int("jobs", 0, "override jobs per trace (0 = derive from seed)")
-		every  = flag.Int("progress", 25, "print progress every N seeds (0 = quiet)")
-		matrix = flag.Bool("matrix", false, "also print the per-cell summary table for each seed")
+		start    = flag.Int64("start", 1, "first trace seed")
+		seeds    = flag.Int("seeds", 100, "number of consecutive seeds to verify")
+		jobs     = flag.Int("jobs", 0, "override jobs per trace (0 = derive from seed)")
+		every    = flag.Int("progress", 25, "print progress every N seeds (0 = quiet)")
+		matrix   = flag.Bool("matrix", false, "also print the per-cell summary table for each seed")
+		parallel = flag.Int("parallel", 0, "matrix-cell worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		refSeeds = flag.Int("refseeds", 3, "seeds for the optimized-vs-reference bit-identity check (0 = skip)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := sweep(os.Stdout, *start, *seeds, *jobs, *every, *matrix); err != nil {
+	stop, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cawsverify:", err)
+		os.Exit(1)
+	}
+	err = sweep(os.Stdout, *start, *seeds, *jobs, *every, *parallel, *refSeeds, *matrix)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	if merr := profiling.WriteHeap(*memProf); err == nil {
+		err = merr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cawsverify:", err)
 		os.Exit(1)
 	}
 }
 
 // sweep verifies `seeds` consecutive trace seeds and returns the first
-// failure, whose Error() carries the reproducer line.
-func sweep(w io.Writer, start int64, seeds, jobs, every int, matrix bool) error {
+// failure, whose Error() carries the reproducer line. It then proves the
+// optimized fast paths bit-identical to the reference implementations over
+// refSeeds seeds.
+func sweep(w io.Writer, start int64, seeds, jobs, every, parallel, refSeeds int, matrix bool) error {
 	if seeds <= 0 {
 		return fmt.Errorf("nothing to do: -seeds %d", seeds)
 	}
@@ -53,7 +72,7 @@ func sweep(w io.Writer, start int64, seeds, jobs, every int, matrix bool) error 
 		if jobs > 0 {
 			spec.Jobs = jobs
 		}
-		if err := verify.Differential(spec); err != nil {
+		if err := verify.DifferentialParallel(spec, parallel); err != nil {
 			return err
 		}
 		if matrix {
@@ -64,6 +83,19 @@ func sweep(w io.Writer, start int64, seeds, jobs, every int, matrix bool) error 
 		if every > 0 && (i+1)%every == 0 {
 			fmt.Fprintf(w, "cawsverify: %d/%d seeds clean (last %v)\n", i+1, seeds, spec)
 		}
+	}
+	for i := 0; i < refSeeds; i++ {
+		spec := verify.DefaultSpec(start + int64(i))
+		if jobs > 0 {
+			spec.Jobs = jobs
+		}
+		if err := verify.ReferenceEquivalence(spec, parallel); err != nil {
+			return err
+		}
+	}
+	if refSeeds > 0 {
+		fmt.Fprintf(w, "cawsverify: optimized vs reference schedules bit-identical over %d seeds × %d configurations\n",
+			refSeeds, len(verify.AllConfigs()))
 	}
 	fmt.Fprintf(w, "cawsverify: PASS: %d seeds × %d configurations, no violations\n",
 		seeds, len(verify.AllConfigs()))

@@ -7,7 +7,7 @@ import (
 
 func TestSweepClean(t *testing.T) {
 	var out strings.Builder
-	if err := sweep(&out, 1, 3, 10, 2, false); err != nil {
+	if err := sweep(&out, 1, 3, 10, 2, 0, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -17,11 +17,14 @@ func TestSweepClean(t *testing.T) {
 	if !strings.Contains(got, "2/3 seeds clean") {
 		t.Errorf("missing progress line:\n%s", got)
 	}
+	if !strings.Contains(got, "bit-identical over 1 seeds") {
+		t.Errorf("missing reference-equivalence line:\n%s", got)
+	}
 }
 
 func TestSweepMatrix(t *testing.T) {
 	var out strings.Builder
-	if err := sweep(&out, 5, 1, 8, 0, true); err != nil {
+	if err := sweep(&out, 5, 1, 8, 0, 2, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -34,7 +37,7 @@ func TestSweepMatrix(t *testing.T) {
 
 func TestSweepRejectsEmptyRange(t *testing.T) {
 	var out strings.Builder
-	if err := sweep(&out, 1, 0, 0, 0, false); err == nil {
+	if err := sweep(&out, 1, 0, 0, 0, 0, 0, false); err == nil {
 		t.Fatal("empty sweep did not error")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/txtplot"
 	"repro/internal/workload"
 )
@@ -39,16 +40,31 @@ func main() {
 		check    = flag.Bool("check", true, "verify the paper's qualitative claims and report violations")
 		costmode = flag.String("costmode", "effective-hops", "cost function: effective-hops (literal Eq. 6), hop-bytes (msize-weighted), distance-only")
 		plot     = flag.Bool("plot", false, "render ASCII charts alongside the tables (fig1, fig6, fig9)")
+		parallel = flag.Int("parallel", 0, "concurrent simulation runs (0 = GOMAXPROCS, 1 = sequential)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*exp, *jobs, *indJobs, *seed, *comm, *share, *machines, *patterns, *check, *costmode, *plot); err != nil {
+	stop, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	err = run(*exp, *jobs, *indJobs, *seed, *comm, *share, *machines, *patterns, *check, *costmode, *plot, *parallel)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	if merr := profiling.WriteHeap(*memProf); err == nil {
+		err = merr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
 func run(exp string, jobs, indJobs int, seed int64, comm, share float64,
-	machines, patterns string, check bool, costmode string, plot bool) error {
+	machines, patterns string, check bool, costmode string, plot bool, parallel int) error {
 	mode, err := costmodel.ParseMode(costmode)
 	if err != nil {
 		return err
@@ -64,7 +80,7 @@ func run(exp string, jobs, indJobs int, seed int64, comm, share float64,
 	o := experiments.Options{
 		Jobs: jobs, IndividualJobs: indJobs, Seed: seed,
 		CommFraction: comm, CommShare: share, Machines: presets,
-		CostMode: mode,
+		CostMode: mode, Parallelism: parallel,
 	}
 	report := func(name string, issues []string) {
 		if !check {

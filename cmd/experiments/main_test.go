@@ -6,20 +6,20 @@ func TestRunQuickExperiments(t *testing.T) {
 	// Each experiment at test scale; fig1 is independent of the size knobs.
 	for _, exp := range []string{"fig1", "table3", "table4", "future"} {
 		if err := run(exp, 60, 15, 1, 0.9, 0.7, "Theta", "binomial",
-			true, "effective-hops", exp == "fig1"); err != nil {
+			true, "effective-hops", exp == "fig1", 0); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("table3", 30, 10, 1, 0.9, 0.7, "Nope", "binomial", false, "effective-hops", false); err == nil {
+	if err := run("table3", 30, 10, 1, 0.9, 0.7, "Nope", "binomial", false, "effective-hops", false, 0); err == nil {
 		t.Error("unknown machine accepted")
 	}
-	if err := run("table3", 30, 10, 1, 0.9, 0.7, "Theta", "binomial", false, "frob", false); err == nil {
+	if err := run("table3", 30, 10, 1, 0.9, 0.7, "Theta", "binomial", false, "frob", false, 0); err == nil {
 		t.Error("unknown cost mode accepted")
 	}
-	if err := run("fig8", 30, 10, 1, 0.9, 0.7, "Theta", "frob", false, "effective-hops", false); err == nil {
+	if err := run("fig8", 30, 10, 1, 0.9, 0.7, "Theta", "frob", false, "effective-hops", false, 0); err == nil {
 		t.Error("unknown pattern accepted")
 	}
 }

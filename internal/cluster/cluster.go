@@ -9,9 +9,25 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/topology"
 )
+
+// referenceMode, when set, makes SwitchFree recompute subtree free counts
+// by scanning descendant leaves (the pre-optimization behaviour) instead of
+// reading the incrementally maintained counters. The differential harness
+// flips it to prove the fast path observationally equivalent. Toggle only
+// between runs, never while simulations are in flight with mixed
+// expectations; the atomic makes concurrent *reads* race-free.
+var referenceMode atomic.Bool
+
+// SetReferenceMode switches every State between the O(1) counter read and
+// the O(leaves) reference scan in SwitchFree. It is process-global.
+func SetReferenceMode(on bool) { referenceMode.Store(on) }
+
+// ReferenceMode reports whether the reference (slow-scan) path is active.
+func ReferenceMode() bool { return referenceMode.Load() }
 
 // JobID identifies a job within a simulation run.
 type JobID int64
@@ -61,6 +77,24 @@ type State struct {
 	leafUnavail []int
 	free        int
 
+	// switchFree[sw.Index] is the number of allocatable nodes in the
+	// subtree of sw — kept equal to the sum of LeafFree over sw's
+	// descendant leaves by O(tree-height) updates on every allocate,
+	// release, drain and resume, so SwitchFree and findLowestSwitch read
+	// it in O(1) instead of rescanning the tree.
+	switchFree []int
+
+	// gen counts state mutations (allocate/release/drain/resume).
+	// Evaluation-scoped caches key their contents on (state, generation)
+	// and drop them when either changes; see costmodel's leaf-pair cache.
+	gen uint64
+
+	// allocMark/allocMarkGen detect duplicate node IDs in Allocate without
+	// a per-call map: allocMark[id] == allocMarkGen means "seen in the
+	// current call".
+	allocMark    []uint64
+	allocMarkGen uint64
+
 	allocs map[JobID]*Allocation
 }
 
@@ -74,13 +108,33 @@ func New(topo *topology.Topology) *State {
 		leafComm:    make([]int, topo.NumLeaves()),
 		leafUnavail: make([]int, topo.NumLeaves()),
 		free:        topo.NumNodes(),
+		switchFree:  make([]int, len(topo.Switches)),
+		allocMark:   make([]uint64, topo.NumNodes()),
 		allocs:      make(map[JobID]*Allocation),
 	}
 	for i := range s.nodeJob {
 		s.nodeJob[i] = -1
 	}
+	for _, sw := range topo.Switches {
+		for _, l := range sw.DescLeaves {
+			s.switchFree[sw.Index] += topo.LeafSize(l)
+		}
+	}
 	return s
 }
+
+// adjustFree applies a free-node delta to leaf l's whole ancestor chain —
+// the O(tree-height) update that keeps switchFree consistent.
+func (s *State) adjustFree(l, delta int) {
+	for sw := s.topo.Leaves[l]; sw != nil; sw = sw.Parent {
+		s.switchFree[sw.Index] += delta
+	}
+}
+
+// Generation returns the mutation counter: it changes whenever an
+// allocate, release, drain or resume alters the state, and is the cache
+// invalidation key for evaluation-scoped caches over this state.
+func (s *State) Generation() uint64 { return s.gen }
 
 // Topology returns the underlying topology.
 func (s *State) Topology() *topology.Topology { return s.topo }
@@ -110,8 +164,21 @@ func (s *State) LeafFree(l int) int {
 	return s.topo.LeafSize(l) - s.leafBusy[l] - s.leafUnavail[l]
 }
 
-// SwitchFree returns the number of free nodes in the subtree of sw.
+// SwitchFree returns the number of free nodes in the subtree of sw. It is
+// an O(1) counter read (see adjustFree); under SetReferenceMode it falls
+// back to SwitchFreeSlow, the original O(leaves) scan, for differential
+// equivalence checks.
 func (s *State) SwitchFree(sw *topology.Switch) int {
+	if referenceMode.Load() {
+		return s.SwitchFreeSlow(sw)
+	}
+	return s.switchFree[sw.Index]
+}
+
+// SwitchFreeSlow recomputes the subtree free count by scanning descendant
+// leaves — the reference implementation SwitchFree's counter is checked
+// against (CheckInvariants, the verify harness and benchmarks).
+func (s *State) SwitchFreeSlow(sw *topology.Switch) int {
 	total := 0
 	for _, l := range sw.DescLeaves {
 		total += s.LeafFree(l)
@@ -178,15 +245,15 @@ func (s *State) Allocate(job JobID, class Class, nodes []int) error {
 	if _, dup := s.allocs[job]; dup {
 		return fmt.Errorf("cluster: job %d already allocated", job)
 	}
-	seen := make(map[int]bool, len(nodes))
+	s.allocMarkGen++
 	for _, id := range nodes {
 		if id < 0 || id >= len(s.nodeJob) {
 			return fmt.Errorf("cluster: job %d: node %d out of range", job, id)
 		}
-		if seen[id] {
+		if s.allocMark[id] == s.allocMarkGen {
 			return fmt.Errorf("cluster: job %d: node %d listed twice", job, id)
 		}
-		seen[id] = true
+		s.allocMark[id] = s.allocMarkGen
 		if s.nodeJob[id] >= 0 {
 			return fmt.Errorf("cluster: job %d: node %d busy (held by job %d)",
 				job, id, s.nodeJob[id])
@@ -201,11 +268,13 @@ func (s *State) Allocate(job JobID, class Class, nodes []int) error {
 		s.nodeJob[id] = job
 		l := s.topo.LeafOf(id)
 		s.leafBusy[l]++
+		s.adjustFree(l, -1)
 		if class == CommIntensive {
 			s.leafComm[l]++
 		}
 	}
 	s.free -= len(sorted)
+	s.gen++
 	s.allocs[job] = &Allocation{Job: job, Class: class, Nodes: sorted}
 	return nil
 }
@@ -226,13 +295,16 @@ func (s *State) Release(job JobID) error {
 		}
 		if s.nodeDown[id] {
 			// Drained while running: the node leaves service instead of
-			// returning to the allocatable pool.
+			// returning to the allocatable pool, so the subtree free
+			// counts are unchanged (leafBusy-- cancels leafUnavail++).
 			s.leafUnavail[l]++
 		} else {
+			s.adjustFree(l, 1)
 			returned++
 		}
 	}
 	s.free += returned
+	s.gen++
 	delete(s.allocs, job)
 	return nil
 }
@@ -249,6 +321,8 @@ func (s *State) Clone() *State {
 		leafComm:    append([]int(nil), s.leafComm...),
 		leafUnavail: append([]int(nil), s.leafUnavail...),
 		free:        s.free,
+		switchFree:  append([]int(nil), s.switchFree...),
+		allocMark:   make([]uint64, len(s.allocMark)),
 		allocs:      make(map[JobID]*Allocation, len(s.allocs)),
 	}
 	for id, a := range s.allocs {
@@ -307,6 +381,11 @@ func (s *State) CheckInvariants() error {
 		if owned[id] != len(a.Nodes) {
 			return fmt.Errorf("job %d holds %d nodes, allocation lists %d",
 				id, owned[id], len(a.Nodes))
+		}
+	}
+	for _, sw := range s.topo.Switches {
+		if got, want := s.switchFree[sw.Index], s.SwitchFreeSlow(sw); got != want {
+			return fmt.Errorf("switch %s free counter %d, recomputed %d", sw.Name, got, want)
 		}
 	}
 	return nil

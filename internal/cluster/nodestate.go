@@ -19,9 +19,12 @@ func (s *State) Drain(id int) error {
 	s.nodeDown[id] = true
 	if s.nodeJob[id] < 0 {
 		// Free node leaves the allocatable pool now.
-		s.leafUnavail[s.topo.LeafOf(id)]++
+		l := s.topo.LeafOf(id)
+		s.leafUnavail[l]++
+		s.adjustFree(l, -1)
 		s.free--
 	}
+	s.gen++
 	return nil
 }
 
@@ -36,9 +39,12 @@ func (s *State) Resume(id int) error {
 	}
 	s.nodeDown[id] = false
 	if s.nodeJob[id] < 0 {
-		s.leafUnavail[s.topo.LeafOf(id)]--
+		l := s.topo.LeafOf(id)
+		s.leafUnavail[l]--
+		s.adjustFree(l, 1)
 		s.free++
 	}
+	s.gen++
 	return nil
 }
 

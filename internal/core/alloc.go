@@ -12,8 +12,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/collective"
@@ -193,12 +194,96 @@ type leafOrder struct {
 	ratio float64
 }
 
-func snapshotLeaves(st *cluster.State, leaves []int) []leafOrder {
-	out := make([]leafOrder, len(leaves))
+// selScratch holds the per-Select working set — the leaf snapshot, the
+// balanced algorithm's pass-one take counts, and the mark-on-slice node
+// filter — so a Select call allocates nothing beyond its returned node
+// list. Scratches are pooled; Select implementations acquire one, use it,
+// and release it before returning.
+type selScratch struct {
+	order []leafOrder
+	taken []int
+	// mark/markGen is the reusable replacement for appendAvoiding's old
+	// per-call map[int]bool: mark[id] == markGen means node id is already
+	// chosen in the current pass.
+	mark    []uint64
+	markGen uint64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(selScratch) }}
+
+func getScratch() *selScratch   { return scratchPool.Get().(*selScratch) }
+func (sc *selScratch) release() { scratchPool.Put(sc) }
+func (sc *selScratch) beginMark(n int) {
+	if cap(sc.mark) < n {
+		sc.mark = make([]uint64, n)
+	}
+	sc.mark = sc.mark[:n]
+	sc.markGen++
+}
+
+// snapshotLeaves fills the scratch's leaf-order buffer; the returned slice
+// is valid until the scratch is released.
+func snapshotLeaves(st *cluster.State, leaves []int, sc *selScratch) []leafOrder {
+	if cap(sc.order) < len(leaves) {
+		sc.order = make([]leafOrder, len(leaves))
+	}
+	out := sc.order[:len(leaves)]
 	for i, l := range leaves {
 		out[i] = leafOrder{leaf: l, free: st.LeafFree(l), ratio: st.CommRatio(l)}
 	}
+	sc.order = out
 	return out
+}
+
+// The comparators below are total strict orders (the unique leaf index is
+// always the final key), so the unstable slices.SortFunc yields the same
+// permutation the previous sort.SliceStable did, without the closure and
+// interface allocations.
+
+// cmpFreeAsc orders by ascending free count (best-fit), then leaf index.
+func cmpFreeAsc(a, b leafOrder) int {
+	if a.free != b.free {
+		return a.free - b.free
+	}
+	return a.leaf - b.leaf
+}
+
+// cmpFreeDesc orders by descending free count, then leaf index.
+func cmpFreeDesc(a, b leafOrder) int {
+	if a.free != b.free {
+		return b.free - a.free
+	}
+	return a.leaf - b.leaf
+}
+
+// cmpGreedyComm orders for communication-intensive greedy selection:
+// ascending communication ratio, then descending free, then leaf index.
+func cmpGreedyComm(a, b leafOrder) int {
+	if a.ratio != b.ratio {
+		if a.ratio < b.ratio {
+			return -1
+		}
+		return 1
+	}
+	if a.free != b.free {
+		return b.free - a.free // fewer fragments for comm jobs
+	}
+	return a.leaf - b.leaf
+}
+
+// cmpGreedyCompute is cmpGreedyComm's mirror for compute-intensive jobs:
+// descending ratio, then ascending free, then leaf index.
+func cmpGreedyCompute(a, b leafOrder) int {
+	if a.ratio != b.ratio {
+		if a.ratio > b.ratio {
+			return -1
+		}
+		return 1
+	}
+	if a.free != b.free {
+		return a.free - b.free
+	}
+	return a.leaf - b.leaf
 }
 
 // ---------------------------------------------------------------- default
@@ -218,13 +303,10 @@ func (defaultSelector) Select(st *cluster.State, req Request) ([]int, error) {
 	if p.IsLeaf() {
 		return takeFromLeaf(st, p.LeafIndex, req.Nodes, make([]int, 0, req.Nodes)), nil
 	}
-	order := snapshotLeaves(st, p.DescLeaves)
-	sort.SliceStable(order, func(i, j int) bool {
-		if order[i].free != order[j].free {
-			return order[i].free < order[j].free
-		}
-		return order[i].leaf < order[j].leaf
-	})
+	sc := getScratch()
+	defer sc.release()
+	order := snapshotLeaves(st, p.DescLeaves, sc)
+	slices.SortFunc(order, cmpFreeAsc)
 	out := make([]int, 0, req.Nodes)
 	remaining := req.Nodes
 	for _, lo := range order {
@@ -263,24 +345,14 @@ func (greedySelector) Select(st *cluster.State, req Request) ([]int, error) {
 	if p.IsLeaf() {
 		return takeFromLeaf(st, p.LeafIndex, req.Nodes, make([]int, 0, req.Nodes)), nil
 	}
-	order := snapshotLeaves(st, p.DescLeaves)
-	comm := req.Class == cluster.CommIntensive
-	sort.SliceStable(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		if a.ratio != b.ratio {
-			if comm {
-				return a.ratio < b.ratio
-			}
-			return a.ratio > b.ratio
-		}
-		if a.free != b.free {
-			if comm {
-				return a.free > b.free // fewer fragments for comm jobs
-			}
-			return a.free < b.free
-		}
-		return a.leaf < b.leaf
-	})
+	sc := getScratch()
+	defer sc.release()
+	order := snapshotLeaves(st, p.DescLeaves, sc)
+	if req.Class == cluster.CommIntensive {
+		slices.SortFunc(order, cmpGreedyComm)
+	} else {
+		slices.SortFunc(order, cmpGreedyCompute)
+	}
 	out := make([]int, 0, req.Nodes)
 	remaining := req.Nodes
 	for _, lo := range order {
@@ -331,17 +403,14 @@ func (s balancedSelector) Select(st *cluster.State, req Request) ([]int, error) 
 	if p.IsLeaf() {
 		return takeFromLeaf(st, p.LeafIndex, req.Nodes, make([]int, 0, req.Nodes)), nil
 	}
-	order := snapshotLeaves(st, p.DescLeaves)
+	sc := getScratch()
+	defer sc.release()
+	order := snapshotLeaves(st, p.DescLeaves, sc)
 	out := make([]int, 0, req.Nodes)
 	remaining := req.Nodes
 
 	if req.Class != cluster.CommIntensive {
-		sort.SliceStable(order, func(i, j int) bool {
-			if order[i].free != order[j].free {
-				return order[i].free < order[j].free
-			}
-			return order[i].leaf < order[j].leaf
-		})
+		slices.SortFunc(order, cmpFreeAsc)
 		for _, lo := range order {
 			if lo.free == 0 {
 				continue
@@ -360,14 +429,13 @@ func (s balancedSelector) Select(st *cluster.State, req Request) ([]int, error) 
 			p.Name, req.Nodes, len(out))
 	}
 
-	sort.SliceStable(order, func(i, j int) bool {
-		if order[i].free != order[j].free {
-			return order[i].free > order[j].free
-		}
-		return order[i].leaf < order[j].leaf
-	})
+	slices.SortFunc(order, cmpFreeDesc)
 	// First pass: powers of two only (lines 12-21 of Algorithm 2).
-	taken := make([]int, len(order))
+	if cap(sc.taken) < len(order) {
+		sc.taken = make([]int, len(order))
+	}
+	taken := sc.taken[:len(order)]
+	clear(taken)
 	allocSize := remaining
 	for i, lo := range order {
 		if lo.free == 0 {
@@ -396,6 +464,10 @@ func (s balancedSelector) Select(st *cluster.State, req Request) ([]int, error) 
 	}
 	// Second pass, reverse sorted order: fill with whatever is left
 	// (lines 22-28).
+	sc.beginMark(st.Topology().NumNodes())
+	for _, id := range out {
+		sc.mark[id] = sc.markGen
+	}
 	for i := len(order) - 1; i >= 0 && remaining > 0; i-- {
 		free := order[i].free - taken[i]
 		if free <= 0 {
@@ -408,7 +480,7 @@ func (s balancedSelector) Select(st *cluster.State, req Request) ([]int, error) 
 		// Skip the nodes already taken in pass one: takeFromLeaf only
 		// returns free nodes, and pass-one nodes are not yet committed, so
 		// exclude them explicitly.
-		out = appendAvoiding(st, order[i].leaf, take, out)
+		out = appendAvoiding(st, order[i].leaf, take, out, sc)
 		remaining -= take
 	}
 	if remaining != 0 {
@@ -419,21 +491,21 @@ func (s balancedSelector) Select(st *cluster.State, req Request) ([]int, error) 
 }
 
 // appendAvoiding appends up to max free nodes of leaf l that are not
-// already present in dst.
-func appendAvoiding(st *cluster.State, l, max int, dst []int) []int {
+// already chosen. The caller marks dst's nodes in the scratch before the
+// first call (sc.beginMark + mark); appendAvoiding marks what it appends,
+// so successive calls keep avoiding each other without rescanning dst —
+// the zero-allocation replacement for the old per-call map[int]bool.
+func appendAvoiding(st *cluster.State, l, max int, dst []int, sc *selScratch) []int {
 	if max <= 0 {
 		return dst
-	}
-	chosen := make(map[int]bool, len(dst))
-	for _, id := range dst {
-		chosen[id] = true
 	}
 	taken := 0
 	for _, id := range st.Topology().LeafNodes(l) {
 		if taken == max {
 			break
 		}
-		if st.NodeFree(id) && !chosen[id] {
+		if st.NodeFree(id) && sc.mark[id] != sc.markGen {
+			sc.mark[id] = sc.markGen
 			dst = append(dst, id)
 			taken++
 		}

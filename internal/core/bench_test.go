@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/costmodel"
+	"repro/internal/topology"
+)
+
+// benchState is the shared Theta-scale benchmark fixture: a partially
+// occupied machine whose leaves have uneven free counts and contention.
+func benchState(tb testing.TB) *cluster.State {
+	topo := topology.Theta()
+	st := cluster.New(topo)
+	busy := make([]int, topo.NumLeaves())
+	for l := range busy {
+		busy[l] = (l * 37) % 300
+	}
+	occupy(tb, st, busy)
+	// A resident communication-intensive job makes the contention factors
+	// non-trivial for the cost model.
+	comm := make([]int, 0, 128)
+	for l := 0; l < topo.NumLeaves(); l++ {
+		ids := topo.LeafNodes(l)
+		comm = append(comm, ids[len(ids)-1], ids[len(ids)-2])
+	}
+	if err := st.Allocate(1000001, cluster.CommIntensive, comm); err != nil {
+		tb.Fatal(err)
+	}
+	return st
+}
+
+// benchSelect runs one selector with "opt" (fast paths) and "ref"
+// (reference SwitchFree recount + uncached cost loops) sub-benchmarks, the
+// speedup pair the committed BENCH_*.json tracks.
+func benchSelect(b *testing.B, a Algorithm) {
+	st := benchState(b)
+	sel := MustNew(a)
+	req := Request{Job: 1, Nodes: 512, Class: cluster.CommIntensive, Pattern: collective.RD}
+	for _, mode := range []struct {
+		name string
+		ref  bool
+	}{{"opt", false}, {"ref", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cluster.SetReferenceMode(mode.ref)
+			costmodel.SetReferenceMode(mode.ref)
+			defer func() {
+				cluster.SetReferenceMode(false)
+				costmodel.SetReferenceMode(false)
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.Select(st, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSelectDefault(b *testing.B)  { benchSelect(b, Default) }
+func BenchmarkSelectGreedy(b *testing.B)   { benchSelect(b, Greedy) }
+func BenchmarkSelectBalanced(b *testing.B) { benchSelect(b, Balanced) }
+func BenchmarkSelectAdaptive(b *testing.B) { benchSelect(b, Adaptive) }
+
+// TestSelectAllocations pins the selector fast paths to a single heap
+// allocation per call — the returned node list. The leaf snapshot, sort,
+// take counters and the appendAvoiding node filter all live in the pooled
+// scratch.
+func TestSelectAllocations(t *testing.T) {
+	st := benchState(t)
+	for _, a := range []Algorithm{Default, Greedy, Balanced, BalancedNoPow2} {
+		sel := MustNew(a)
+		for _, class := range []cluster.Class{cluster.CommIntensive, cluster.ComputeIntensive} {
+			req := Request{Job: 1, Nodes: 511, Class: class, Pattern: collective.RD}
+			// Warm the scratch pool outside the measured runs.
+			if _, err := sel.Select(st, req); err != nil {
+				t.Fatalf("%v/%v: %v", a, class, err)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if _, err := sel.Select(st, req); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 1 {
+				t.Errorf("%v/%v: %.1f allocs per Select, want <= 1 (the result slice)", a, class, allocs)
+			}
+		}
+	}
+}
+
+// TestBalancedSecondPassAvoidsFirstPassNodes pins the mark-on-slice
+// rewrite of appendAvoiding: the second pass must never duplicate a node
+// taken in the power-of-two pass, across repeated reuses of the pooled
+// scratch.
+func TestBalancedSecondPassAvoidsFirstPassNodes(t *testing.T) {
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 7, Fanouts: []int{3}})
+	st := cluster.New(topo)
+	occupy(t, st, []int{1, 2, 4})
+	sel := MustNew(Balanced)
+	for round := 0; round < 5; round++ {
+		nodes, err := sel.Select(st, Request{Job: 1, Nodes: 11, Class: cluster.CommIntensive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != 11 {
+			t.Fatalf("round %d: got %d nodes, want 11", round, len(nodes))
+		}
+		seen := map[int]bool{}
+		for _, id := range nodes {
+			if seen[id] {
+				t.Fatalf("round %d: node %d selected twice in %v", round, id, nodes)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+// BenchmarkJobCost measures Eq. 6 over a 512-node recursive-doubling job
+// spread across every Theta leaf, with the leaf-pair cache ("opt") and the
+// uncached reference loop ("ref"). The committed BENCH_*.json tracks the
+// opt/ref pair.
+func BenchmarkJobCost(b *testing.B) {
+	topo := topology.Theta()
+	st := cluster.New(topo)
+	// Stripe ranks across all 12 leaves so the schedule's pairs span the
+	// full distance and contention range.
+	nodes := make([]int, 512)
+	for i := range nodes {
+		l := i % topo.NumLeaves()
+		nodes[i] = topo.LeafNodes(l)[i/topo.NumLeaves()]
+	}
+	if err := st.Allocate(1, cluster.CommIntensive, nodes); err != nil {
+		b.Fatal(err)
+	}
+	steps := collective.RD.MustSchedule(512)
+	for _, mode := range []struct {
+		name string
+		ref  bool
+	}{{"opt", false}, {"ref", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			SetReferenceMode(mode.ref)
+			defer SetReferenceMode(false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := JobCost(st, nodes, steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

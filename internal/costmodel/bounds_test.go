@@ -1,0 +1,82 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+)
+
+// TestPairRangeValidationQuadrants is the regression test for the
+// incomplete bounds check: the old condition (p.A < 0 || p.B >= len(nodes))
+// accepted pairs with A >= len(nodes) or B < 0 and indexed out of range.
+// Every cost loop must reject all four quadrants.
+func TestPairRangeValidationQuadrants(t *testing.T) {
+	st := figure5State(t)
+	nodes := []int{6, 7}
+	bad := []collective.Pair{
+		{A: -1, B: 0},
+		{A: 0, B: -1}, // missed by the old check
+		{A: 2, B: 0},  // missed by the old check
+		{A: 0, B: 2},
+	}
+	for _, ref := range []bool{false, true} {
+		SetReferenceMode(ref)
+		defer SetReferenceMode(false)
+		for _, p := range bad {
+			steps := []collective.Step{{Pairs: []collective.Pair{p}, MsgSize: 1}}
+			if _, err := JobCost(st, nodes, steps); err == nil ||
+				!strings.Contains(err.Error(), "out of range") {
+				t.Errorf("ref=%v JobCost(pair %+v): err = %v, want out-of-range", ref, p, err)
+			}
+			if _, err := JobCostHopBytes(st, nodes, steps, 1); err == nil ||
+				!strings.Contains(err.Error(), "out of range") {
+				t.Errorf("ref=%v JobCostHopBytes(pair %+v): err = %v, want out-of-range", ref, p, err)
+			}
+			if _, err := JobCostMode(st, nodes, steps, ModeDistanceOnly); err == nil ||
+				!strings.Contains(err.Error(), "out of range") {
+				t.Errorf("ref=%v JobCostMode(distance, pair %+v): err = %v, want out-of-range", ref, p, err)
+			}
+		}
+	}
+}
+
+// TestScheduleForMemoized pins the schedule memo: repeated calls return the
+// identical backing array (so the per-step ring memoization in JobCost
+// keeps working), and reference mode builds fresh.
+func TestScheduleForMemoized(t *testing.T) {
+	a, err := ScheduleFor(collective.RD, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScheduleFor(collective.RD, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0].Pairs[0] != &b[0].Pairs[0] {
+		t.Error("memoized schedules do not share backing arrays")
+	}
+	want := collective.RD.MustSchedule(16)
+	if len(a) != len(want) {
+		t.Fatalf("memoized schedule has %d steps, want %d", len(a), len(want))
+	}
+	for k := range want {
+		if len(a[k].Pairs) != len(want[k].Pairs) || a[k].MsgSize != want[k].MsgSize {
+			t.Fatalf("step %d differs from a fresh build", k)
+		}
+		for i := range want[k].Pairs {
+			if a[k].Pairs[i] != want[k].Pairs[i] {
+				t.Fatalf("step %d pair %d = %+v, want %+v", k, i, a[k].Pairs[i], want[k].Pairs[i])
+			}
+		}
+	}
+	SetReferenceMode(true)
+	defer SetReferenceMode(false)
+	c, err := ScheduleFor(collective.RD, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c[0].Pairs[0] == &a[0].Pairs[0] {
+		t.Error("reference mode returned the memoized schedule")
+	}
+}

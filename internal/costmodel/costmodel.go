@@ -52,8 +52,18 @@ func Hops(st *cluster.State, i, j int) float64 {
 //
 //	Cost = Σ_{steps n} max_{(a,b) ∈ S_n} Hops(nodes[a], nodes[b])
 //
-// The schedule's pair ranks must all be < len(nodes).
+// The schedule's pair ranks must all be in [0, len(nodes)). Hops values
+// are memoized per leaf-switch pair for the duration of the evaluation
+// (see pairCache); SetReferenceMode forces the uncached loop.
 func JobCost(st *cluster.State, nodes []int, steps []collective.Step) (float64, error) {
+	if referenceMode.Load() {
+		return jobCostRef(st, nodes, steps)
+	}
+	c := acquirePairCache(st, nodes)
+	if c == nil {
+		return jobCostRef(st, nodes, steps)
+	}
+	defer c.release()
 	total := 0.0
 	// Steps that share a pair set (the ring algorithm repeats one matching
 	// P-1 times) are charged the memoised maximum instead of rescanning.
@@ -66,7 +76,41 @@ func JobCost(st *cluster.State, nodes []int, steps []collective.Step) (float64, 
 		}
 		max := 0.0
 		for _, p := range step.Pairs {
-			if p.A < 0 || p.B >= len(nodes) {
+			if p.A < 0 || p.A >= len(nodes) || p.B < 0 || p.B >= len(nodes) {
+				return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
+					sIdx, p.A, p.B, len(nodes))
+			}
+			if nodes[p.A] == nodes[p.B] {
+				continue // Hops(i,i) = 0, never the max
+			}
+			if h := c.at(nodes[p.A], nodes[p.B], c.rankLeaf[p.A], c.rankLeaf[p.B]); h > max {
+				max = h
+			}
+		}
+		if len(step.Pairs) > 0 {
+			prevPairs = &step.Pairs[0]
+			prevMax = max
+		}
+		total += max
+	}
+	return total, nil
+}
+
+// jobCostRef is the uncached reference implementation of JobCost, kept for
+// differential equivalence checks and as the fallback for topologies too
+// large for the leaf-pair cache.
+func jobCostRef(st *cluster.State, nodes []int, steps []collective.Step) (float64, error) {
+	total := 0.0
+	var prevPairs *collective.Pair
+	prevMax := 0.0
+	for sIdx, step := range steps {
+		if len(step.Pairs) > 0 && prevPairs == &step.Pairs[0] {
+			total += prevMax
+			continue
+		}
+		max := 0.0
+		for _, p := range step.Pairs {
+			if p.A < 0 || p.A >= len(nodes) || p.B < 0 || p.B >= len(nodes) {
 				return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
 					sIdx, p.A, p.B, len(nodes))
 			}
@@ -88,6 +132,14 @@ func JobCost(st *cluster.State, nodes []int, steps []collective.Step) (float64, 
 // contribute proportionally more. baseMsgSize scales all steps (use 1 for a
 // relative comparison).
 func JobCostHopBytes(st *cluster.State, nodes []int, steps []collective.Step, baseMsgSize float64) (float64, error) {
+	if referenceMode.Load() {
+		return jobCostHopBytesRef(st, nodes, steps, baseMsgSize)
+	}
+	c := acquirePairCache(st, nodes)
+	if c == nil {
+		return jobCostHopBytesRef(st, nodes, steps, baseMsgSize)
+	}
+	defer c.release()
 	total := 0.0
 	var prevPairs *collective.Pair
 	prevMax := 0.0
@@ -98,7 +150,40 @@ func JobCostHopBytes(st *cluster.State, nodes []int, steps []collective.Step, ba
 		}
 		max := 0.0
 		for _, p := range step.Pairs {
-			if p.A < 0 || p.B >= len(nodes) {
+			if p.A < 0 || p.A >= len(nodes) || p.B < 0 || p.B >= len(nodes) {
+				return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
+					sIdx, p.A, p.B, len(nodes))
+			}
+			if nodes[p.A] == nodes[p.B] {
+				continue
+			}
+			if h := c.at(nodes[p.A], nodes[p.B], c.rankLeaf[p.A], c.rankLeaf[p.B]); h > max {
+				max = h
+			}
+		}
+		if len(step.Pairs) > 0 {
+			prevPairs = &step.Pairs[0]
+			prevMax = max
+		}
+		total += max * step.MsgSize * baseMsgSize
+	}
+	return total, nil
+}
+
+// jobCostHopBytesRef is the uncached reference implementation of
+// JobCostHopBytes.
+func jobCostHopBytesRef(st *cluster.State, nodes []int, steps []collective.Step, baseMsgSize float64) (float64, error) {
+	total := 0.0
+	var prevPairs *collective.Pair
+	prevMax := 0.0
+	for sIdx, step := range steps {
+		if len(step.Pairs) > 0 && prevPairs == &step.Pairs[0] {
+			total += prevMax * step.MsgSize * baseMsgSize
+			continue
+		}
+		max := 0.0
+		for _, p := range step.Pairs {
+			if p.A < 0 || p.A >= len(nodes) || p.B < 0 || p.B >= len(nodes) {
 				return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
 					sIdx, p.A, p.B, len(nodes))
 			}
@@ -116,9 +201,9 @@ func JobCostHopBytes(st *cluster.State, nodes []int, steps []collective.Step, ba
 }
 
 // PatternCost computes Eq. 6 for the pattern over the allocation, building
-// the schedule internally.
+// the schedule internally (memoized per pattern and size).
 func PatternCost(st *cluster.State, nodes []int, p collective.Pattern) (float64, error) {
-	steps, err := p.Schedule(len(nodes))
+	steps, err := ScheduleFor(p, len(nodes))
 	if err != nil {
 		return 0, err
 	}

@@ -71,7 +71,7 @@ func JobCostMode(st *cluster.State, nodes []int, steps []collective.Step, mode M
 			}
 			max := 0
 			for _, p := range step.Pairs {
-				if p.A < 0 || p.B >= len(nodes) {
+				if p.A < 0 || p.A >= len(nodes) || p.B < 0 || p.B >= len(nodes) {
 					return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
 						sIdx, p.A, p.B, len(nodes))
 				}
@@ -101,7 +101,7 @@ func CandidateCostMode(st *cluster.State, job cluster.JobID, class cluster.Class
 	if err := st.Allocate(job, class, nodes); err != nil {
 		return 0, fmt.Errorf("costmodel: candidate allocate: %w", err)
 	}
-	steps, err := p.Schedule(len(nodes))
+	steps, err := ScheduleFor(p, len(nodes))
 	var cost float64
 	if err == nil {
 		cost, err = JobCostMode(st, nodes, steps, mode)

@@ -1,0 +1,55 @@
+package costmodel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/collective"
+)
+
+// Schedule memoization: a collective schedule is a pure function of
+// (pattern, rank count), and the scheduler's hot paths rebuild the same
+// one repeatedly — the adaptive selector costs two candidates per request,
+// the simulator costs the chosen and the reference allocation per job
+// start, and rank remapping's hill climb re-reads it for every swap.
+// Entries are immutable; callers of ScheduleFor must never mutate the
+// returned steps.
+
+// maxScheduleEntries bounds the memo so pathological traces (thousands of
+// distinct job sizes) cannot pin unbounded memory; once full, new sizes
+// are built fresh, which only costs the pre-memo allocation.
+const maxScheduleEntries = 256
+
+type scheduleKey struct {
+	p collective.Pattern
+	n int
+}
+
+var (
+	scheduleCache   sync.Map // scheduleKey -> []collective.Step
+	scheduleEntries atomic.Int64
+)
+
+// ScheduleFor returns pattern's schedule at n ranks, memoized. The result
+// is shared and must be treated as read-only. Reference mode bypasses the
+// memo and builds fresh, preserving the seed behaviour for differential
+// runs.
+func ScheduleFor(p collective.Pattern, n int) ([]collective.Step, error) {
+	if referenceMode.Load() {
+		return p.Schedule(n)
+	}
+	k := scheduleKey{p, n}
+	if v, ok := scheduleCache.Load(k); ok {
+		return v.([]collective.Step), nil
+	}
+	s, err := p.Schedule(n)
+	if err != nil {
+		return nil, err
+	}
+	if scheduleEntries.Load() < maxScheduleEntries {
+		if _, loaded := scheduleCache.LoadOrStore(k, s); !loaded {
+			scheduleEntries.Add(1)
+		}
+	}
+	return s, nil
+}

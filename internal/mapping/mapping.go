@@ -86,7 +86,7 @@ func Remap(st *cluster.State, job cluster.JobID, class cluster.Class,
 	if len(nodes) == 0 {
 		return nil, 0, fmt.Errorf("mapping: empty allocation")
 	}
-	steps, err := pattern.Schedule(len(nodes))
+	steps, err := costmodel.ScheduleFor(pattern, len(nodes))
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,51 @@
+// Package profiling wires the optional -cpuprofile/-memprofile flags of
+// the CLIs to runtime/pprof with consistent error handling.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the function
+// that stops it and closes the file. An empty path is a no-op.
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("profiling: close cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeap dumps an allocs-up-to-date heap profile to path. An empty path
+// is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: create mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // publish up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("profiling: write mem profile: %w", err)
+	}
+	return nil
+}

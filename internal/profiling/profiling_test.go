@@ -1,0 +1,54 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEmptyPathsAreNoOps(t *testing.T) {
+	stop, err := StartCPU("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHeap(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stop, err := StartCPU(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = i * i
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHeap(mem); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartCPUBadPath(t *testing.T) {
+	if _, err := StartCPU(filepath.Join(t.TempDir(), "no", "such", "dir", "x.prof")); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -73,9 +73,23 @@ func (p Policy) less(jobs []workload.Job, a, b int) bool {
 }
 
 // order sorts queued job indexes in place according to the policy. FIFO is
-// a no-op: arrival order is already submission order.
+// a no-op: arrival order is already submission order. For the other
+// policies the queue is usually still sorted from the previous pass (at
+// most one arrival was appended since), so an O(n) sortedness scan skips
+// the sort — less is a total order, making "no adjacent inversion"
+// equivalent to "stable sort is the identity".
 func (p Policy) order(jobs []workload.Job, queue []int) {
-	if p == FIFO {
+	if p == FIFO || len(queue) < 2 {
+		return
+	}
+	sorted := true
+	for i := 0; i+1 < len(queue); i++ {
+		if p.less(jobs, queue[i+1], queue[i]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
 		return
 	}
 	sort.SliceStable(queue, func(x, y int) bool {

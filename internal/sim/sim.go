@@ -113,6 +113,10 @@ type engine struct {
 	results []metrics.JobResult
 	started []bool
 
+	// resScratch is reused across reservation() calls so the EASY shadow
+	// computation allocates nothing per scheduling pass.
+	resScratch []runningJob
+
 	// Dependency support (SWF "preceding job"): idToIdx resolves job IDs,
 	// held parks arrived jobs whose dependency has not completed, and
 	// completedAt records completion times (-1 = not yet).
@@ -162,6 +166,11 @@ func RunContinuous(cfg Config, trace workload.Trace) (*Result, error) {
 	}
 	if err := e.loop(); err != nil {
 		return nil, err
+	}
+	// The fast-path counters (per-switch free totals, leaf aggregates) must
+	// agree with a recount from first principles once the trace drains.
+	if err := e.st.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("sim: post-run state check: %w", err)
 	}
 	res := &Result{
 		Algorithm:    cfg.Algorithm,
@@ -263,17 +272,23 @@ func (e *engine) schedule(now float64) error {
 	if !ok {
 		return fmt.Errorf("sim: job %d (%d nodes) can never run", head.ID, head.Nodes)
 	}
-	for i := 1; i < len(e.queue); {
+	// Jobs that stay queued are compacted in place with a write index
+	// instead of splicing each started job out, turning the pass from
+	// O(n²) copies into a single O(n) sweep.
+	w := 1
+	for i := 1; i < len(e.queue); i++ {
 		idx := e.queue[i]
 		j := e.trace.Jobs[idx]
 		if j.Nodes > e.st.FreeTotal() {
-			i++
+			e.queue[w] = idx
+			w++
 			continue
 		}
 		finishesBeforeShadow := now+j.EstimatedRuntime() <= shadow
 		fitsExtra := j.Nodes <= extra
 		if !finishesBeforeShadow && !fitsExtra {
-			i++
+			e.queue[w] = idx
+			w++
 			continue
 		}
 		if err := e.start(idx, now); err != nil {
@@ -282,8 +297,8 @@ func (e *engine) schedule(now float64) error {
 		if !finishesBeforeShadow {
 			extra -= j.Nodes
 		}
-		e.queue = append(e.queue[:i], e.queue[i+1:]...)
 	}
+	e.queue = e.queue[:w]
 	return nil
 }
 
@@ -295,10 +310,11 @@ func (e *engine) reservation(now float64, need int) (shadow float64, extra int, 
 	if need <= free {
 		return now, free - need, true
 	}
-	ends := make([]runningJob, 0, len(e.running))
+	ends := e.resScratch[:0]
 	for _, r := range e.running {
 		ends = append(ends, r)
 	}
+	e.resScratch = ends[:0]
 	sort.Slice(ends, func(a, b int) bool {
 		if ends[a].estEnd != ends[b].estEnd {
 			return ends[a].estEnd < ends[b].estEnd

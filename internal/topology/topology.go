@@ -26,6 +26,11 @@ type Switch struct {
 	// switches, and -1 for internal switches.
 	LeafIndex int
 
+	// Index is this switch's position in Topology.Switches. Allocation
+	// state keeps per-switch counters (free nodes per subtree) in flat
+	// slices indexed by it.
+	Index int
+
 	// DescLeaves lists the Topology.Leaves indexes of all leaf switches in
 	// this switch's subtree (itself, for a leaf). Allocation algorithms use
 	// it to enumerate candidate leaves under a chosen lowest-level switch.
@@ -131,6 +136,9 @@ func build(root *Switch, leaves []*Switch, nodeOrder []string, nodeLeaf []int) (
 	walk(root)
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Level < all[j].Level })
 	t.Switches = all
+	for i, s := range all {
+		s.Index = i
+	}
 	for i, leaf := range leaves {
 		leaf.LeafIndex = i
 	}

@@ -105,14 +105,30 @@ func (f *Failure) Reproducer() string {
 // stack over it: every matrix cell is simulated, audited with
 // sim.ValidateResultConfig, and conservation-checked against
 // internal/metrics; then the cross-configuration metamorphic properties
-// are asserted. The first violation is returned as a *Failure.
+// are asserted. The first violation is returned as a *Failure. Cells run
+// on a GOMAXPROCS-bounded worker pool; use DifferentialParallel to pick
+// the pool size.
 func Differential(spec TraceSpec) error {
-	return DifferentialConfigs(spec, AllConfigs())
+	return DifferentialConfigsParallel(spec, AllConfigs(), 0)
+}
+
+// DifferentialParallel is Differential with an explicit worker-pool size
+// for the matrix cells (<= 0 means GOMAXPROCS, 1 forces sequential).
+func DifferentialParallel(spec TraceSpec, parallelism int) error {
+	return DifferentialConfigsParallel(spec, AllConfigs(), parallelism)
 }
 
 // DifferentialConfigs is Differential over a caller-chosen subset of the
 // matrix (the fuzz targets run one cell per input).
 func DifferentialConfigs(spec TraceSpec, configs []RunConfig) error {
+	return DifferentialConfigsParallel(spec, configs, 0)
+}
+
+// DifferentialConfigsParallel runs the chosen cells on a bounded worker
+// pool. Each cell simulates an independent cluster state, so cells are
+// embarrassingly parallel; the reported failure is always the
+// lowest-indexed failing cell, matching the sequential loop.
+func DifferentialConfigsParallel(spec TraceSpec, configs []RunConfig, parallelism int) error {
 	topo, trace, err := spec.Build()
 	if err != nil {
 		return &Failure{Spec: spec, Err: err}
@@ -125,7 +141,7 @@ func DifferentialConfigs(spec TraceSpec, configs []RunConfig) error {
 		}
 	}
 	results := make([]*sim.Result, len(configs))
-	for i := range configs {
+	err = runCells(len(configs), parallelism, func(i int) error {
 		cfg := configs[i].SimConfig(topo)
 		res, err := sim.RunContinuous(cfg, trace)
 		if err != nil {
@@ -150,6 +166,10 @@ func DifferentialConfigs(spec TraceSpec, configs []RunConfig) error {
 			}
 		}
 		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if computeOnly {
 		if err := checkComputeOnlyAgreement(spec, configs, results); err != nil {
@@ -310,19 +330,35 @@ func checkDeterminism(spec TraceSpec, topo *topology.Topology, trace workload.Tr
 // RunMatrix runs spec's trace over every cell and returns the per-cell
 // summaries — the data the cawsverify CLI reports — or the first Failure.
 func RunMatrix(spec TraceSpec) ([]metrics.Summary, error) {
-	configs := AllConfigs()
+	results, err := runMatrixResults(spec, AllConfigs(), 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]metrics.Summary, len(results))
+	for i, res := range results {
+		out[i] = res.Summary
+	}
+	return out, nil
+}
+
+// runMatrixResults simulates every cell on a bounded worker pool and
+// returns the full per-cell results in cell order.
+func runMatrixResults(spec TraceSpec, configs []RunConfig, parallelism int) ([]*sim.Result, error) {
 	topo, trace, err := spec.Build()
 	if err != nil {
 		return nil, &Failure{Spec: spec, Err: err}
 	}
-	out := make([]metrics.Summary, len(configs))
-	for i := range configs {
-		cfg := configs[i].SimConfig(topo)
-		res, err := sim.RunContinuous(cfg, trace)
+	results := make([]*sim.Result, len(configs))
+	err = runCells(len(configs), parallelism, func(i int) error {
+		res, err := sim.RunContinuous(configs[i].SimConfig(topo), trace)
 		if err != nil {
-			return nil, &Failure{Spec: spec, Config: &configs[i], Err: err}
+			return &Failure{Spec: spec, Config: &configs[i], Err: err}
 		}
-		out[i] = res.Summary
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return results, nil
 }

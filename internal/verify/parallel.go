@@ -1,0 +1,57 @@
+package verify
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runCells runs fn over cell indexes [0, n) on a bounded worker pool and
+// returns the error of the lowest-indexed failing cell, so parallel sweeps
+// report the same first failure as the sequential loop regardless of
+// goroutine scheduling. parallelism <= 0 uses GOMAXPROCS.
+func runCells(n, parallelism int, fn func(i int) error) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	errs := make([]error, n)
+	if parallelism <= 1 {
+		// Run every cell even after a failure, matching the pool: the
+		// cross-checks that follow need the complete result set semantics
+		// and the reported error is the lowest failing index either way.
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+)
+
+// ReferenceEquivalence proves the scheduler's fast paths observationally
+// equivalent to their reference implementations: it runs spec's trace over
+// the full matrix twice — once on the optimized paths (per-switch free
+// counters, leaf-pair hops cache) and once with cluster and costmodel
+// forced into reference mode (full-subtree recounts, uncached Eq. 5/6
+// loops) — and requires every per-job result to be bit-identical.
+//
+// Reference mode is process-global, so this must not run concurrently with
+// other simulations; parallelism only bounds the worker pool within each
+// of the two matrix sweeps.
+func ReferenceEquivalence(spec TraceSpec, parallelism int) error {
+	configs := AllConfigs()
+	cluster.SetReferenceMode(false)
+	costmodel.SetReferenceMode(false)
+	fast, err := runMatrixResults(spec, configs, parallelism)
+	if err != nil {
+		return err
+	}
+	cluster.SetReferenceMode(true)
+	costmodel.SetReferenceMode(true)
+	defer func() {
+		cluster.SetReferenceMode(false)
+		costmodel.SetReferenceMode(false)
+	}()
+	ref, err := runMatrixResults(spec, configs, parallelism)
+	if err != nil {
+		return err
+	}
+	for i := range configs {
+		a, b := fast[i], ref[i]
+		if len(a.Jobs) != len(b.Jobs) {
+			return &Failure{Spec: spec, Config: &configs[i], Err: fmt.Errorf(
+				"reference run scheduled %d jobs, optimized %d", len(b.Jobs), len(a.Jobs))}
+		}
+		for k := range a.Jobs {
+			if a.Jobs[k] != b.Jobs[k] {
+				return &Failure{Spec: spec, Config: &configs[i], Err: fmt.Errorf(
+					"optimized and reference schedules diverge: job %d %+v vs %+v",
+					a.Jobs[k].ID, a.Jobs[k], b.Jobs[k])}
+			}
+		}
+		if a.Summary != b.Summary {
+			return &Failure{Spec: spec, Config: &configs[i], Err: fmt.Errorf(
+				"optimized and reference summaries diverge: %+v vs %+v", a.Summary, b.Summary)}
+		}
+	}
+	return nil
+}

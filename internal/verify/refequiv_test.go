@@ -1,0 +1,66 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestReferenceEquivalence proves the optimized fast paths (per-switch
+// free counters, leaf-pair hops cache, schedule memo) produce
+// bit-identical schedules to the reference implementations over the full
+// configuration matrix for several seeds.
+func TestReferenceEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		spec := DefaultSpec(seed)
+		spec.Jobs = 25
+		if err := ReferenceEquivalence(spec, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunCellsDeterministicFirstFailure pins the worker pool's failure
+// semantics: whatever the interleaving, the reported error is the
+// lowest-indexed failing cell, and every cell runs exactly once.
+func TestRunCellsDeterministicFirstFailure(t *testing.T) {
+	for _, parallelism := range []int{1, 4, 16} {
+		ran := make([]int, 40)
+		err := runCells(len(ran), parallelism, func(i int) error {
+			ran[i]++
+			if i == 7 || i == 23 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Errorf("parallelism %d: err = %v, want cell 7", parallelism, err)
+		}
+		for i, n := range ran {
+			if n != 1 {
+				t.Errorf("parallelism %d: cell %d ran %d times", parallelism, i, n)
+			}
+		}
+	}
+	if err := runCells(5, 8, func(int) error { return nil }); err != nil {
+		t.Errorf("clean pool returned %v", err)
+	}
+}
+
+// TestDifferentialParallelMatchesSequential runs one spec both ways; the
+// outcome (including any failure) must be identical.
+func TestDifferentialParallelMatchesSequential(t *testing.T) {
+	spec := DefaultSpec(11)
+	spec.Jobs = 15
+	seqErr := DifferentialParallel(spec, 1)
+	parErr := DifferentialParallel(spec, 8)
+	if (seqErr == nil) != (parErr == nil) {
+		t.Fatalf("sequential err %v, parallel err %v", seqErr, parErr)
+	}
+	if seqErr != nil {
+		var a, b *Failure
+		if !errors.As(seqErr, &a) || !errors.As(parErr, &b) || a.Error() != b.Error() {
+			t.Fatalf("failures differ:\n%v\n%v", seqErr, parErr)
+		}
+	}
+}
