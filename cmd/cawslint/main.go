@@ -1,0 +1,57 @@
+// Command cawslint is the project's multichecker: it runs the
+// internal/analysis suite — determinism, genbump, exhaustive, floatcmp
+// and refparity — over the packages matched by its arguments (default
+// ./...) and exits non-zero on any diagnostic. There is no warn-only
+// mode; suppress a false positive in place with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// (the reason is mandatory and an unused or unexplained suppression is
+// itself a diagnostic). See DESIGN.md §8 for the invariant each analyzer
+// encodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", "", "change to this directory before resolving patterns")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: cawslint [-C dir] [-list] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cawslint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(pkgs, suite)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cawslint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumSpec names one enum-like named type whose switches must be total.
+type EnumSpec struct {
+	PkgPath  string
+	TypeName string
+}
+
+// DefaultEnums are the closed enumerations the scheduler dispatches on.
+// Adding a variant (a fourth collective algorithm, a new cost mode, a new
+// selector) must break the build of every switch that would silently
+// mishandle it.
+var DefaultEnums = []EnumSpec{
+	{"repro/internal/core", "Algorithm"},
+	{"repro/internal/costmodel", "Mode"},
+	{"repro/internal/collective", "Pattern"},
+	{"repro/internal/cluster", "Class"},
+}
+
+// Exhaustive checks every switch over a configured enum type: either all
+// declared constants of the type are handled, or the switch carries a
+// default that fails loudly (panics, returns a non-nil error, or calls a
+// Fatal function). A quiet default on a partial switch is exactly the
+// silent fall-through this analyzer exists to prevent.
+func Exhaustive(enums []EnumSpec) *Analyzer {
+	a := &Analyzer{
+		Name: "exhaustive",
+		Doc: "switches over scheduler enums must handle every variant or " +
+			"fail loudly in default",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if ok && sw.Tag != nil {
+					checkEnumSwitch(pass, enums, sw)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkEnumSwitch(pass *Pass, enums []EnumSpec, sw *ast.SwitchStmt) {
+	tv, ok := pass.Info.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named := namedType(tv.Type)
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	matched := false
+	for _, e := range enums {
+		if named.Obj().Pkg().Path() == e.PkgPath && named.Obj().Name() == e.TypeName {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return
+	}
+
+	// All declared constants of the enum type, by exact constant value.
+	members := make(map[string]string) // value -> constant name
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if _, dup := members[c.Val().ExactString()]; !dup {
+			members[c.Val().ExactString()] = name
+		}
+	}
+	if len(members) == 0 {
+		return
+	}
+
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			etv, ok := pass.Info.Types[expr]
+			if !ok || etv.Value == nil {
+				// A non-constant case means coverage cannot be decided
+				// statically; leave this switch to the dynamic checks.
+				return
+			}
+			covered[etv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	for v, name := range members {
+		if !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	enum := named.Obj().Name()
+	if defaultClause == nil {
+		pass.Reportf(sw.Pos(),
+			"switch over %s misses %s and has no default: handle every variant or add a default that fails loudly",
+			enum, strings.Join(missing, ", "))
+		return
+	}
+	if !failsLoudly(pass, defaultClause) {
+		pass.Reportf(defaultClause.Pos(),
+			"switch over %s misses %s but its default neither panics nor returns an error: a new variant would fall through silently",
+			enum, strings.Join(missing, ", "))
+	}
+}
+
+// failsLoudly reports whether the default clause panics, returns a
+// non-nil error, calls a Fatal* function, or exits.
+func failsLoudly(pass *Pass, cc *ast.CaseClause) bool {
+	loud := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if loud {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				name := calleeName(n)
+				if name == "panic" || name == "Exit" || strings.HasPrefix(name, "Fatal") {
+					loud = true
+					return false
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					tv, ok := pass.Info.Types[res]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					if !isErrorType(tv.Type) {
+						continue
+					}
+					if id, isIdent := ast.Unparen(res).(*ast.Ident); isIdent && id.Name == "nil" {
+						continue
+					}
+					loud = true
+					return false
+				}
+			}
+			return true
+		})
+		if loud {
+			return true
+		}
+	}
+	return loud
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

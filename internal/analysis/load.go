@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s",
+			strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportMap builds importPath -> export-data file for the patterns and
+// every dependency, compiling as needed (`go list -export` populates the
+// build cache; it needs no network).
+func exportMap(dir string, patterns []string) (map[string]string, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Export"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m, nil
+}
+
+// exportImporter returns a types.Importer that reads gc export data from
+// the given path map.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// typeCheck parses the files and type-checks them as import path, using
+// exports to resolve imports.
+func typeCheck(fset *token.FileSet, path, dir string, goFiles []string,
+	exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(dir, name)
+		}
+		af, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", fn, err)
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: exportImporter(fset, exports)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, nil
+}
+
+// Load type-checks the packages matched by the patterns (relative to dir,
+// or the current directory when dir is empty) and returns them ready for
+// analysis. Only non-test files are loaded: the invariants cover
+// production code, and test files may deliberately exercise forbidden
+// constructs.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exports, err := exportMap(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	targets, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	seen := make(map[string]bool, len(targets))
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		if seen[t.ImportPath] || len(t.GoFiles) == 0 {
+			continue
+		}
+		seen[t.ImportPath] = true
+		pkg, err := typeCheck(fset, t.ImportPath, t.Dir, t.GoFiles, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// moduleExports caches one module-wide export map for LoadDir (fixture
+// loading): every fixture resolves imports against the same `go list
+// -export -deps ./...` result.
+var moduleExports = struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}{}
+
+// moduleRoot returns the directory containing go.mod for dir.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("analysis: go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("analysis: not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// LoadDir parses and type-checks the non-test .go files of one directory
+// as a package with the given import path, resolving imports against the
+// enclosing module. Fixture tests use it to analyze testdata packages —
+// including ones that pose as scoped packages like repro/internal/sim —
+// with full type information.
+func LoadDir(dir, importPath string) (*Package, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	moduleExports.once.Do(func() {
+		moduleExports.m, moduleExports.err = exportMap(root, []string{"./..."})
+	})
+	if moduleExports.err != nil {
+		return nil, moduleExports.err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		goFiles = append(goFiles, name)
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	return typeCheck(fset, importPath, dir, goFiles, moduleExports.m)
+}

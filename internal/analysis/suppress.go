@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A diagnostic can be silenced with a comment on the same line as the
+// finding or alone on the line directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without one is itself a
+// diagnostic (analyzer name "suppress"), as is a directive naming an
+// unknown analyzer or one that matches no finding (stale suppressions
+// must be deleted, not accumulated). This keeps every escape hatch
+// self-documenting and auditable with `grep -rn lint:allow`.
+
+// SuppressName is the pseudo-analyzer name under which the driver reports
+// malformed, unknown or unused suppression directives.
+const SuppressName = "suppress"
+
+const directivePrefix = "lint:allow"
+
+type directive struct {
+	diag     Diagnostic // position of the directive itself
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// applySuppressions filters pkgDiags through the package's //lint:allow
+// directives and appends driver diagnostics for malformed or unused ones.
+// known is the set of analyzer names in this run.
+func applySuppressions(pkg *Package, pkgDiags []Diagnostic, known map[string]bool) []Diagnostic {
+	// directives[file][line] -> directives allowed to act on that line.
+	byLine := make(map[string]map[int][]*directive)
+	var all []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+				d := &directive{diag: Diagnostic{Pos: pos, Analyzer: SuppressName}}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				all = append(all, d)
+				m := byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]*directive)
+					byLine[pos.Filename] = m
+				}
+				// A directive acts on its own line; one alone on a line
+				// also acts on the next line.
+				m[pos.Line] = append(m[pos.Line], d)
+				m[pos.Line+1] = append(m[pos.Line+1], d)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, diag := range pkgDiags {
+		suppressed := false
+		for _, d := range byLine[diag.Pos.Filename][diag.Pos.Line] {
+			if d.analyzer != diag.Analyzer {
+				continue
+			}
+			d.used = true
+			if d.reason == "" {
+				continue // unexplained: does not suppress, and is flagged below
+			}
+			suppressed = true
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+
+	for _, d := range all {
+		switch {
+		case d.analyzer == "":
+			d.diag.Message = "suppression names no analyzer: want //lint:allow <analyzer> <reason>"
+		case !known[d.analyzer]:
+			d.diag.Message = "suppression names unknown analyzer " + strconv.Quote(d.analyzer)
+		case d.reason == "":
+			d.diag.Message = "suppression of " + d.analyzer + " without a reason; explain why the finding is a false positive"
+		case !d.used:
+			d.diag.Message = "suppression of " + d.analyzer + " matches no finding; delete the stale directive"
+		default:
+			continue
+		}
+		out = append(out, d.diag)
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Package sim poses as repro/internal/sim (the fixture loader assigns
+// the import path) to exercise every determinism finding.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallClock reads the wall clock inside simulator scope.
+func WallClock() time.Time {
+	return time.Now() // want `time\.Now in simulator code`
+}
+
+// Elapsed uses a derived wall-clock read.
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since in simulator code`
+}
+
+// GlobalDraw draws from the process-global rand source.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+}
+
+// SumValues folds a map in iteration order. Addition happens to commute,
+// but the analyzer cannot know that and the idiom rots into
+// order-sensitive code.
+func SumValues(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,34 @@
+// Package sim poses as repro/internal/sim; every construct here is the
+// sanctioned deterministic form and must produce no diagnostics.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SeededDraw builds a seeded generator: the allowed form.
+func SeededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// SortedKeys uses the collect-then-sort idiom: the single-append map
+// range is allowed, the sort restores determinism.
+func SortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// SumSorted folds in sorted key order.
+func SumSorted(m map[int]float64) float64 {
+	total := 0.0
+	for _, k := range SortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}

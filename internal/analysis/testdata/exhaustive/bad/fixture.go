@@ -1,0 +1,29 @@
+// Package exhaustive switches over the real scheduler enums (the
+// analyzer is module-wide, so any import path works) and trips both
+// partial-switch findings.
+package exhaustive
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// PartialNoDefault misses four selectors and has no default at all.
+func PartialNoDefault(a core.Algorithm) string {
+	switch a { // want `switch over Algorithm misses Adaptive, Balanced, BalancedNoPow2, Greedy and has no default`
+	case core.Default:
+		return "default"
+	}
+	return "?"
+}
+
+// QuietDefault has a default, but one that silently swallows a new
+// variant instead of failing loudly.
+func QuietDefault(c cluster.Class) string {
+	switch c {
+	case cluster.ComputeIntensive:
+		return "compute"
+	default: // want `switch over Class misses CommIntensive but its default neither panics nor returns an error`
+		return "?"
+	}
+}

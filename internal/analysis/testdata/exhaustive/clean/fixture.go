@@ -1,0 +1,52 @@
+// Package exhaustive shows every sanctioned switch shape over the
+// scheduler enums; none may produce a diagnostic.
+package exhaustive
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+)
+
+// Full handles every variant with no default.
+func Full(c cluster.Class) string {
+	switch c {
+	case cluster.ComputeIntensive:
+		return "compute"
+	case cluster.CommIntensive:
+		return "comm"
+	}
+	return "?"
+}
+
+// LoudPanic is partial but its default panics.
+func LoudPanic(m costmodel.Mode) string {
+	switch m {
+	case costmodel.ModeEffectiveHops:
+		return "hops"
+	default:
+		panic(fmt.Sprintf("unhandled mode %v", m))
+	}
+}
+
+// LoudError is partial but its default returns a non-nil error.
+func LoudError(a core.Algorithm) (string, error) {
+	switch a {
+	case core.Default:
+		return "default", nil
+	default:
+		return "", fmt.Errorf("unhandled algorithm %v", a)
+	}
+}
+
+// Dynamic has a non-constant case: coverage is statically undecidable,
+// so the switch is left to the dynamic checks.
+func Dynamic(a, b core.Algorithm) bool {
+	switch a {
+	case b:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+// Package costmodel poses as repro/internal/costmodel (in the floatcmp
+// scope) and trips the exact-comparison findings.
+package costmodel
+
+// Ratio compares computed costs exactly: the latent bug class the
+// analyzer exists to catch.
+func Ratio(a, b float64) bool {
+	return a == b // want `exact float comparison \(==\)`
+}
+
+// Changed is the != spelling of the same bug.
+func Changed(prev, next float64) bool {
+	return prev != next // want `exact float comparison \(!=\)`
+}
+
+// Mixed compares a float against a non-zero constant.
+func Mixed(cost float64) bool {
+	return cost == 1 // want `exact float comparison \(==\)`
+}

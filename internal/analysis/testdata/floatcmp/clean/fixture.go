@@ -1,0 +1,50 @@
+// Package costmodel poses as repro/internal/costmodel; every comparison
+// here is in a sanctioned context and must produce no diagnostics.
+package costmodel
+
+import "sort"
+
+// less is a total-order comparator (matched case-insensitively by name).
+func less(a, b float64) bool {
+	if a != b {
+		return a < b
+	}
+	return false
+}
+
+// cmpCost is approved by the cmp* prefix.
+func cmpCost(a, b float64) int {
+	switch {
+	case a != b && a < b:
+		return -1
+	case a != b:
+		return 1
+	}
+	return 0
+}
+
+// approxEqual is on the approved-comparator list.
+func approxEqual(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// ZeroSentinel compares against the exact zero config sentinel, which is
+// exact by construction.
+func ZeroSentinel(v float64) bool {
+	return v == 0
+}
+
+// SortKeys compares inside a closure passed to a sort function, whose
+// contract is a total order.
+func SortKeys(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i] != xs[j] {
+			return xs[i] < xs[j]
+		}
+		return i < j
+	})
+}

@@ -1,0 +1,25 @@
+// Package refparity models a package with a SetReferenceMode switch
+// whose equivalence contract has rotted: an unguarded fast-path consumer
+// and an orphaned reference counterpart.
+package refparity
+
+import "sync/atomic"
+
+// referenceMode mirrors the real packages' opt/ref switch flag.
+var referenceMode atomic.Bool
+
+// cache is the configured fast-path state for this fixture.
+var cache = map[int]int{}
+
+// SetReferenceMode toggles the reference implementations.
+func SetReferenceMode(on bool) { referenceMode.Store(on) }
+
+// Lookup reads fast-path state with no guard and no counterpart call.
+func Lookup(k int) int { // want `Lookup consumes fast-path state but neither branches on referenceMode nor calls a \*Slow/\*Ref counterpart`
+	return cache[k]
+}
+
+// lookupSlow exists but nothing guarded ever calls it.
+func lookupSlow(k int) int { // want `reference counterpart lookupSlow is never called from a referenceMode-guarded branch`
+	return k
+}

@@ -1,0 +1,32 @@
+// Package refparity models a healthy opt/ref package: the fast-path
+// consumer branches on the flag, the counterpart is reachable from the
+// guarded branch, and cache maintenance writes are not consumption.
+package refparity
+
+import "sync/atomic"
+
+// referenceMode mirrors the real packages' opt/ref switch flag.
+var referenceMode atomic.Bool
+
+// cache is the configured fast-path state for this fixture.
+var cache = map[int]int{}
+
+// SetReferenceMode toggles the reference implementations.
+func SetReferenceMode(on bool) { referenceMode.Store(on) }
+
+// Lookup branches on the flag and falls back to the counterpart, keeping
+// the opt/ref diff total.
+func Lookup(k int) int {
+	if referenceMode.Load() {
+		return lookupSlow(k)
+	}
+	return cache[k]
+}
+
+// Store maintains the cache: writes are the shared bookkeeping both
+// modes perform, not fast-path consumption.
+func Store(k, v int) {
+	cache[k] = v
+}
+
+func lookupSlow(k int) int { return k }

@@ -1,0 +1,35 @@
+// Package sim poses as repro/internal/sim and exercises every way a
+// //lint:allow directive can itself be wrong. The `want+N` form points an
+// expectation at the line N below it, since a directive comment cannot
+// share its line with another comment.
+package sim
+
+import "time"
+
+// Unexplained directives do not suppress and are themselves flagged.
+func Unexplained() time.Time {
+	// want+1 `suppression of determinism without a reason; explain why the finding is a false positive`
+	//lint:allow determinism
+	return time.Now() // want `time\.Now in simulator code`
+}
+
+// Unknown analyzer names are flagged even with a reason.
+func Unknown() int {
+	// want+1 `suppression names unknown analyzer "nosuchlint"`
+	//lint:allow nosuchlint the analyzer name has a typo
+	return 1
+}
+
+// A directive matching no finding is stale and must be deleted.
+func Stale() int {
+	// want+1 `suppression of determinism matches no finding; delete the stale directive`
+	//lint:allow determinism nothing on this line trips the analyzer
+	return 2
+}
+
+// A directive naming no analyzer at all.
+func Nameless() int {
+	// want+1 `suppression names no analyzer: want //lint:allow <analyzer> <reason>`
+	//lint:allow
+	return 3
+}

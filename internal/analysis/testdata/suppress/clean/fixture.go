@@ -1,0 +1,13 @@
+// Package sim poses as repro/internal/sim with one explained, used
+// suppression: the finding is silenced and the directive itself is
+// legitimate, so the package is clean.
+package sim
+
+import "time"
+
+// Wall is wall-clock by design; the explained suppression silences the
+// determinism finding.
+func Wall() time.Time {
+	//lint:allow determinism fixture: this helper is wall-clock by design
+	return time.Now()
+}

@@ -127,6 +127,7 @@ func New(topo *topology.Topology) *State {
 // the O(tree-height) update that keeps switchFree consistent.
 func (s *State) adjustFree(l, delta int) {
 	for sw := s.topo.Leaves[l]; sw != nil; sw = sw.Parent {
+		//lint:allow genbump counter maintenance inside Allocate/Release/Drain/Resume, which bump gen once per mutation
 		s.switchFree[sw.Index] += delta
 	}
 }
@@ -325,6 +326,7 @@ func (s *State) Clone() *State {
 		allocMark:   make([]uint64, len(s.allocMark)),
 		allocs:      make(map[JobID]*Allocation, len(s.allocs)),
 	}
+	//lint:allow determinism map-to-map copy; result is order-insensitive
 	for id, a := range s.allocs {
 		c.allocs[id] = &Allocation{
 			Job:   a.Job,
@@ -377,8 +379,13 @@ func (s *State) CheckInvariants() error {
 			return fmt.Errorf("leaf %d unavail %d, recomputed %d", l, s.leafUnavail[l], unavail[l])
 		}
 	}
-	for id, a := range s.allocs {
-		if owned[id] != len(a.Nodes) {
+	ids := make([]JobID, 0, len(s.allocs))
+	for id := range s.allocs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if a := s.allocs[id]; owned[id] != len(a.Nodes) {
 			return fmt.Errorf("job %d holds %d nodes, allocation lists %d",
 				id, owned[id], len(a.Nodes))
 		}

@@ -1,0 +1,18 @@
+package costmodel
+
+import "math"
+
+// DefaultEps is the tolerance used when comparing cost-model values
+// (Eq. 5/6 costs, Eq. 7 ratios) that reach the same quantity through
+// different arithmetic, e.g. an incrementally maintained fast path
+// against its reference recomputation.
+const DefaultEps = 1e-9
+
+// ApproxEqual reports whether two cost-model values agree within eps
+// (absolute). It is the sanctioned comparator for computed float64s:
+// the floatcmp analyzer forbids bare ==/!= on them, because exact
+// equality is one reassociation away from flipping a scheduling
+// decision. Pass DefaultEps unless the caller has a scale of its own.
+func ApproxEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

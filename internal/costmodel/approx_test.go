@@ -1,0 +1,27 @@
+package costmodel
+
+import "testing"
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		eps  float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, DefaultEps, true},
+		{"within eps", 1.0, 1.0 + 1e-10, DefaultEps, true},
+		{"at eps boundary", 0, DefaultEps, DefaultEps, true},
+		{"beyond eps", 1.0, 1.0 + 1e-8, DefaultEps, false},
+		{"symmetric", 1.0 + 1e-10, 1.0, DefaultEps, true},
+		{"float noise", 0.30000000000000004, 0.3, DefaultEps, true},
+		{"distinct values", 2.0, 3.0, DefaultEps, false},
+		{"custom eps", 2.0, 2.4, 0.5, true},
+	}
+	for _, tc := range cases {
+		if got := ApproxEqual(tc.a, tc.b, tc.eps); got != tc.want {
+			t.Errorf("%s: ApproxEqual(%v, %v, %v) = %v, want %v",
+				tc.name, tc.a, tc.b, tc.eps, got, tc.want)
+		}
+	}
+}

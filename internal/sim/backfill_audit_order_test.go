@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TestBackfillAuditDeterministicError pins the determinism fix in
+// checkBackfillLegality (flagged by cawslint): with two independently
+// illegal backfill instants, the audit must always report the earliest
+// one, not whichever instant the start map happens to yield first.
+func TestBackfillAuditDeterministicError(t *testing.T) {
+	// Job 1 occupies half the machine until t=100; job 2 wants the whole
+	// machine and is the waiting head from t=10. Jobs 3 and 4 overrun the
+	// shadow time (est 1000 ≫ 100) and no extra nodes exist, so starting
+	// them early is illegal at both instants.
+	trace := workload.Trace{
+		Name:         "order",
+		MachineNodes: 8,
+		Jobs: []workload.Job{
+			{ID: 1, Submit: 0, Runtime: 100, Nodes: 4},
+			{ID: 2, Submit: 10, Runtime: 100, Nodes: 8},
+			{ID: 3, Submit: 20, Runtime: 1000, Nodes: 2, Estimate: 1000},
+			{ID: 4, Submit: 30, Runtime: 1000, Nodes: 2, Estimate: 1000},
+		},
+	}
+	cfg := Config{Topology: topology.PaperExample(), Algorithm: core.Default}
+	res, err := RunContinuous(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Result{Algorithm: res.Algorithm,
+		Jobs: append([]metrics.JobResult(nil), res.Jobs...)}
+	bad.Jobs[2].Start = 20
+	bad.Jobs[2].End = bad.Jobs[2].Start + bad.Jobs[2].Exec
+	bad.Jobs[3].Start = 30
+	bad.Jobs[3].End = bad.Jobs[3].Start + bad.Jobs[3].Exec
+
+	a := newAuditor(bad, trace, cfg)
+	first := a.checkBackfillLegality()
+	if first == nil {
+		t.Fatal("illegal backfills passed the audit")
+	}
+	if !strings.Contains(first.Error(), "job 3 ") ||
+		!strings.Contains(first.Error(), " at 20 ") {
+		t.Fatalf("audit should report the earliest illegal instant: %v", first)
+	}
+	for i := 0; i < 100; i++ {
+		if err := a.checkBackfillLegality(); err == nil || err.Error() != first.Error() {
+			t.Fatalf("iteration %d: error changed from %q to %v", i, first, err)
+		}
+	}
+}

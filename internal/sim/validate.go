@@ -13,6 +13,19 @@ import (
 
 const validateEps = 1e-6
 
+// sameTime reports exact equality of two simulator time values (instants
+// or durations). Event times are copied between records, never
+// recomputed, so identity — not epsilon closeness — is the correct test:
+// two events belong to the same scheduling instant only when their
+// float64 bits match, exactly as the engine's event queue sees them.
+func sameTime(a, b float64) bool { return a == b }
+
+// eqExact reports exact float64 equality for pass-through bookkeeping:
+// values the engine assigns verbatim (a degenerate job's CostRatio is the
+// literal constant 1, not a computed quotient), where any drift at all is
+// the bug being checked for.
+func eqExact(a, b float64) bool { return a == b }
+
 // ValidateResult cross-checks a continuous run against its input trace:
 // every job appears exactly once with consistent times, dependants start
 // after their dependencies, the Eq. 7 runtime model is internally
@@ -48,7 +61,7 @@ func ValidateResult(res *Result, trace workload.Trace) error {
 		if r.Exec <= 0 {
 			return fmt.Errorf("sim: job %d has exec %v", r.ID, r.Exec)
 		}
-		if r.BaseRun != j.Runtime {
+		if !sameTime(r.BaseRun, j.Runtime) {
 			return fmt.Errorf("sim: job %d base runtime %v != trace %v", r.ID, r.BaseRun, j.Runtime)
 		}
 		if !r.Comm && math.Abs(r.Exec-j.Runtime) > eps {
@@ -116,7 +129,7 @@ func validateRuntimeModel(r metrics.JobResult, j workload.Job) error {
 	}
 	degenerate := j.Class != cluster.CommIntensive || len(j.Mix.Comms) == 0 || j.Nodes <= 1
 	if degenerate {
-		if r.CostRatio != 1 {
+		if !eqExact(r.CostRatio, 1) {
 			return fmt.Errorf("sim: job %d untouched by the runtime model but ratio %v", r.ID, r.CostRatio)
 		}
 		if math.Abs(r.Exec-j.Runtime) > validateEps {
@@ -229,7 +242,7 @@ func (a *auditor) policyBefore(i, k int) (before, known bool) {
 	if !a.hasDeps {
 		return i < k, true
 	}
-	if a.elig[i] != a.elig[k] {
+	if !sameTime(a.elig[i], a.elig[k]) {
 		return a.elig[i] < a.elig[k], true
 	}
 	return false, false
@@ -282,7 +295,13 @@ func (a *auditor) checkBackfillLegality() error {
 	for i := range a.res.Jobs {
 		starts[a.res.Jobs[i].Start] = append(starts[a.res.Jobs[i].Start], i)
 	}
-	for t, started := range starts {
+	instants := make([]float64, 0, len(starts))
+	for t := range starts {
+		instants = append(instants, t)
+	}
+	sort.Float64s(instants)
+	for _, t := range instants {
+		started := starts[t]
 		// Triggering events at t: completions, and arrivals (jobs becoming
 		// eligible). More than one means multiple passes at t with unknowable
 		// interleaving — skip. Exactly one pending arrival is fine only when
@@ -290,10 +309,10 @@ func (a *auditor) checkBackfillLegality() error {
 		ends, arrivals := 0, 0
 		pendingArrival := -1
 		for i := range a.res.Jobs {
-			if a.res.Jobs[i].End == t {
+			if sameTime(a.res.Jobs[i].End, t) {
 				ends++
 			}
-			if a.elig[i] == t {
+			if sameTime(a.elig[i], t) {
 				arrivals++
 				if a.res.Jobs[i].Start > t {
 					pendingArrival = i
