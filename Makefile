@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check build vet lint test race fuzz-smoke verify bench bench-smoke
+.PHONY: check build vet lint test race fuzz-smoke verify bench bench-smoke bench-compare
 
 check: vet lint build race fuzz-smoke
 
@@ -39,11 +39,20 @@ verify:
 # a dated JSON artifact (BENCH_<date>.json, committed for the perf PRs).
 BENCHTIME ?= 1s
 BENCH_PKGS = ./internal/core ./internal/costmodel ./internal/sim ./internal/cluster
+# -p 1 keeps package test binaries sequential: concurrently running
+# packages contaminate each other's timings.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSelect|BenchmarkJobCost$$|BenchmarkRunContinuous$$|BenchmarkAllocateRelease' \
+	$(GO) test -p 1 -run '^$$' -bench 'BenchmarkSelect|BenchmarkJobCost$$|BenchmarkRunContinuous$$|BenchmarkAllocateRelease' \
 		-benchtime $(BENCHTIME) -benchmem -json $(BENCH_PKGS) > BENCH_$$(date +%F).json
 	@echo "wrote BENCH_$$(date +%F).json"
 
 # One iteration per benchmark: proves they still compile and run (CI).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
+
+# Record a fresh dated artifact and diff it against the latest committed
+# BENCH_*.json via cmd/benchcmp; >20% ns/op regression on an /opt path
+# fails. Override the output name with BENCH_OUT=..., duration with
+# BENCHTIME=....
+bench-compare:
+	BENCHTIME=$(BENCHTIME) sh scripts/bench-compare.sh $(BENCH_OUT)

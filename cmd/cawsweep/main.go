@@ -18,6 +18,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -35,10 +36,24 @@ func main() {
 		costMode  = flag.String("costmode", "effective-hops", "cost function")
 		policy    = flag.String("policy", "fifo", "queue policy: fifo, sjf, widest")
 		out       = flag.String("o", "", "output CSV file (default stdout)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*machines, *patterns, *comm, *commShare, *algs, *jobs, *seed,
-		*costMode, *policy, *out); err != nil {
+	stop, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cawsweep:", err)
+		os.Exit(1)
+	}
+	err = run(*machines, *patterns, *comm, *commShare, *algs, *jobs, *seed,
+		*costMode, *policy, *out)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	if merr := profiling.WriteHeap(*memProf); err == nil {
+		err = merr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cawsweep:", err)
 		os.Exit(1)
 	}

@@ -20,13 +20,14 @@ type RefParityConfig struct {
 	OwnerType map[string]string
 }
 
-// DefaultRefParityConfig covers the two packages with PR-2 fast paths:
-// cluster's per-switch free counters and costmodel's leaf-pair hops cache
-// and schedule memo.
+// DefaultRefParityConfig covers the two packages with fast paths:
+// cluster's per-switch free counters and incrementally maintained comm
+// shares, and costmodel's leaf-pair hops cache, schedule memo and compiled
+// leaf-aggregated schedules.
 var DefaultRefParityConfig = RefParityConfig{
 	FastPath: map[string][]string{
-		"repro/internal/cluster":   {"switchFree"},
-		"repro/internal/costmodel": {"pairCachePool", "scheduleCache"},
+		"repro/internal/cluster":   {"switchFree", "leafShare"},
+		"repro/internal/costmodel": {"pairCachePool", "scheduleCache", "leafSchedCache"},
 	},
 	OwnerType: map[string]string{
 		"repro/internal/cluster": "State",

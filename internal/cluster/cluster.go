@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 
@@ -72,6 +73,12 @@ type State struct {
 	nodeDown []bool  // per node: drained (ineligible for new allocations)
 	leafBusy []int   // per leaf: allocated node count (L_busy)
 	leafComm []int   // per leaf: nodes running comm-intensive jobs (L_comm)
+	// leafShare[l] is L_comm/L_nodes for leaf l — the per-switch contention
+	// term of Eq. 2/3 — maintained incrementally whenever leafComm changes,
+	// so cost evaluation reads a float instead of dividing per pair. Each
+	// update stores the result of the same division CommShareSlow performs,
+	// so the fast read is bit-identical to the reference recompute.
+	leafShare []float64
 	// leafUnavail counts free-but-drained nodes per leaf; they are excluded
 	// from LeafFree and FreeTotal.
 	leafUnavail []int
@@ -106,6 +113,7 @@ func New(topo *topology.Topology) *State {
 		nodeDown:    make([]bool, topo.NumNodes()),
 		leafBusy:    make([]int, topo.NumLeaves()),
 		leafComm:    make([]int, topo.NumLeaves()),
+		leafShare:   make([]float64, topo.NumLeaves()),
 		leafUnavail: make([]int, topo.NumLeaves()),
 		free:        topo.NumNodes(),
 		switchFree:  make([]int, len(topo.Switches)),
@@ -203,9 +211,30 @@ func (s *State) CommRatio(l int) float64 {
 }
 
 // CommShare returns L_comm/L_nodes for leaf l, the per-switch contention
-// term of the cost model (Eq. 2 and Eq. 3).
+// term of the cost model (Eq. 2 and Eq. 3). It is an O(1) read of the
+// incrementally maintained per-leaf share; under SetReferenceMode it falls
+// back to CommShareSlow, the original per-call division, for differential
+// equivalence checks.
 func (s *State) CommShare(l int) float64 {
+	if referenceMode.Load() {
+		return s.CommShareSlow(l)
+	}
+	return s.leafShare[l]
+}
+
+// CommShareSlow recomputes L_comm/L_nodes from the counters — the
+// reference implementation the maintained leafShare is checked against
+// (CheckInvariants and the verify harness).
+func (s *State) CommShareSlow(l int) float64 {
 	return float64(s.leafComm[l]) / float64(s.topo.LeafSize(l))
+}
+
+// updateShare refreshes the maintained L_comm/L_nodes after a leafComm
+// change. It stores the division result itself (never an incremental
+// delta), so the fast read stays bit-identical to CommShareSlow.
+func (s *State) updateShare(l int) {
+	//lint:allow genbump share maintenance inside Allocate/Release, which bump gen once per mutation
+	s.leafShare[l] = float64(s.leafComm[l]) / float64(s.topo.LeafSize(l))
 }
 
 // FreeOnLeaf appends the IDs of the allocatable nodes on leaf l to dst and
@@ -272,6 +301,7 @@ func (s *State) Allocate(job JobID, class Class, nodes []int) error {
 		s.adjustFree(l, -1)
 		if class == CommIntensive {
 			s.leafComm[l]++
+			s.updateShare(l)
 		}
 	}
 	s.free -= len(sorted)
@@ -293,6 +323,7 @@ func (s *State) Release(job JobID) error {
 		s.leafBusy[l]--
 		if a.Class == CommIntensive {
 			s.leafComm[l]--
+			s.updateShare(l)
 		}
 		if s.nodeDown[id] {
 			// Drained while running: the node leaves service instead of
@@ -320,6 +351,7 @@ func (s *State) Clone() *State {
 		nodeDown:    append([]bool(nil), s.nodeDown...),
 		leafBusy:    append([]int(nil), s.leafBusy...),
 		leafComm:    append([]int(nil), s.leafComm...),
+		leafShare:   append([]float64(nil), s.leafShare...),
 		leafUnavail: append([]int(nil), s.leafUnavail...),
 		free:        s.free,
 		switchFree:  append([]int(nil), s.switchFree...),
@@ -377,6 +409,11 @@ func (s *State) CheckInvariants() error {
 		}
 		if unavail[l] != s.leafUnavail[l] {
 			return fmt.Errorf("leaf %d unavail %d, recomputed %d", l, s.leafUnavail[l], unavail[l])
+		}
+		// The maintained share must be bit-identical to the reference
+		// division, not merely close: cost evaluation mixes the two paths.
+		if math.Float64bits(s.leafShare[l]) != math.Float64bits(s.CommShareSlow(l)) {
+			return fmt.Errorf("leaf %d comm share %v, recomputed %v", l, s.leafShare[l], s.CommShareSlow(l))
 		}
 	}
 	ids := make([]JobID, 0, len(s.allocs))

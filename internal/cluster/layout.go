@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// MaxLayoutLeaves bounds the flat leaf-pair matrices below. The largest
+// evaluated machine (Mira) has 128 leaf switches; topologies with more
+// leaves get no Layout and cost evaluation falls back to the reference
+// node-pair loops.
+const MaxLayoutLeaves = 128
+
+// Layout is the flat structure-of-arrays view of a topology that the
+// leaf-aggregated cost kernel (costmodel) consumes: every quantity Eq. 5
+// needs that depends only on the immutable tree — pairwise leaf distances,
+// leaf sizes and pairwise size sums pre-converted to float64, and the
+// node → leaf map — laid out as contiguous slices so the kernel's inner
+// loops are pointer-chase-free. A Layout is built once per topology and
+// shared (the topology is immutable); the generation-keyed state on top of
+// it (per-leaf contention, cached hops) lives in State and costmodel.
+//
+// All float64 fields are conversions of the exact integers the reference
+// expressions convert (float64(2*level), float64(size_i + size_j)), so
+// kernels reading them produce bit-identical results to code calling
+// Topology.Distance and Topology.LeafSize directly.
+type Layout struct {
+	// L is the number of leaf switches.
+	L int
+	// NodeLeaf maps node ID -> leaf index.
+	NodeLeaf []int32
+	// Dist is the L×L row-major matrix of Eq. 4 distances between leaves:
+	// float64(2 * level of the lowest common switch). Dist[l*L+l] is 2,
+	// the distance between two distinct nodes on the same leaf.
+	Dist []float64
+	// PairSize is the L×L row-major matrix float64(size_i + size_j), the
+	// denominator of Eq. 3's shared term.
+	PairSize []float64
+	// LeafSize is float64(L_nodes) per leaf, the denominator of Eq. 2.
+	LeafSize []float64
+	// LeafNodeOff/LeafNodeID are the per-leaf attached-node ranges as one
+	// contiguous slice: leaf l's node IDs are
+	// LeafNodeID[LeafNodeOff[l]:LeafNodeOff[l+1]], ascending.
+	LeafNodeOff []int32
+	LeafNodeID  []int32
+}
+
+// layoutCache shares one Layout per topology; topologies are immutable so
+// entries are never invalidated.
+var layoutCache sync.Map // *topology.Topology -> *Layout
+
+// LayoutOf returns the shared flat layout for the topology, building it on
+// first use, or nil when the topology has more than MaxLayoutLeaves leaf
+// switches (callers then use the reference paths).
+func LayoutOf(topo *topology.Topology) *Layout {
+	if topo.NumLeaves() > MaxLayoutLeaves {
+		return nil
+	}
+	if v, ok := layoutCache.Load(topo); ok {
+		return v.(*Layout)
+	}
+	lay := buildLayout(topo)
+	if v, loaded := layoutCache.LoadOrStore(topo, lay); loaded {
+		return v.(*Layout)
+	}
+	return lay
+}
+
+func buildLayout(topo *topology.Topology) *Layout {
+	l := topo.NumLeaves()
+	lay := &Layout{
+		L:           l,
+		NodeLeaf:    make([]int32, topo.NumNodes()),
+		Dist:        make([]float64, l*l),
+		PairSize:    make([]float64, l*l),
+		LeafSize:    make([]float64, l),
+		LeafNodeOff: make([]int32, l+1),
+	}
+	for id := 0; id < topo.NumNodes(); id++ {
+		lay.NodeLeaf[id] = int32(topo.LeafOf(id))
+	}
+	for i := 0; i < l; i++ {
+		lay.LeafSize[i] = float64(topo.LeafSize(i))
+		for j := 0; j < l; j++ {
+			lay.Dist[i*l+j] = float64(2 * topo.LeafCommonLevel(i, j))
+			lay.PairSize[i*l+j] = float64(topo.LeafSize(i) + topo.LeafSize(j))
+		}
+	}
+	for i := 0; i < l; i++ {
+		lay.LeafNodeOff[i] = int32(len(lay.LeafNodeID))
+		for _, id := range topo.LeafNodes(i) {
+			lay.LeafNodeID = append(lay.LeafNodeID, int32(id))
+		}
+	}
+	lay.LeafNodeOff[l] = int32(len(lay.LeafNodeID))
+	return lay
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestLayoutMatchesTopology checks every field of the flat SoA layout
+// against the topology accessors it mirrors — the layout is only sound if
+// each float64 entry is the conversion of the exact integer the reference
+// expressions convert.
+func TestLayoutMatchesTopology(t *testing.T) {
+	specs := []topology.Spec{
+		{NodesPerLeaf: 4, Fanouts: []int{6}},
+		{NodesPerLeaf: 3, Fanouts: []int{4, 3}}, // three-level: 12 leaves in 3 pods
+	}
+	for _, spec := range specs {
+		topo := topology.MustGenerate(spec)
+		lay := LayoutOf(topo)
+		if lay == nil {
+			t.Fatalf("%+v: no layout for %d leaves", spec, topo.NumLeaves())
+		}
+		if lay.L != topo.NumLeaves() {
+			t.Fatalf("%+v: L = %d, want %d", spec, lay.L, topo.NumLeaves())
+		}
+		for id := 0; id < topo.NumNodes(); id++ {
+			if int(lay.NodeLeaf[id]) != topo.LeafOf(id) {
+				t.Errorf("%+v: NodeLeaf[%d] = %d, want %d", spec, id, lay.NodeLeaf[id], topo.LeafOf(id))
+			}
+		}
+		for i := 0; i < lay.L; i++ {
+			if math.Float64bits(lay.LeafSize[i]) != math.Float64bits(float64(topo.LeafSize(i))) {
+				t.Errorf("%+v: LeafSize[%d] = %v, want %d", spec, i, lay.LeafSize[i], topo.LeafSize(i))
+			}
+			for j := 0; j < lay.L; j++ {
+				wantDist := float64(2 * topo.LeafCommonLevel(i, j))
+				if math.Float64bits(lay.Dist[i*lay.L+j]) != math.Float64bits(wantDist) {
+					t.Errorf("%+v: Dist[%d,%d] = %v, want %v", spec, i, j, lay.Dist[i*lay.L+j], wantDist)
+				}
+				wantPair := float64(topo.LeafSize(i) + topo.LeafSize(j))
+				if math.Float64bits(lay.PairSize[i*lay.L+j]) != math.Float64bits(wantPair) {
+					t.Errorf("%+v: PairSize[%d,%d] = %v, want %v", spec, i, j, lay.PairSize[i*lay.L+j], wantPair)
+				}
+			}
+		}
+		// Dist must also agree with the node-level Distance for nodes on the
+		// two leaves (Distance is what the reference Hops loop calls).
+		for i := 0; i < lay.L; i++ {
+			a := topo.LeafNodes(i)[0]
+			for j := 0; j < lay.L; j++ {
+				b := topo.LeafNodes(j)[0]
+				if i == j {
+					b = topo.LeafNodes(j)[1] // distinct nodes, same leaf
+				}
+				if math.Float64bits(lay.Dist[i*lay.L+j]) != math.Float64bits(float64(topo.Distance(a, b))) {
+					t.Errorf("%+v: Dist[%d,%d] = %v, want node distance %d",
+						spec, i, j, lay.Dist[i*lay.L+j], topo.Distance(a, b))
+				}
+			}
+		}
+		for l := 0; l < lay.L; l++ {
+			ids := topo.LeafNodes(l)
+			got := lay.LeafNodeID[lay.LeafNodeOff[l]:lay.LeafNodeOff[l+1]]
+			if len(got) != len(ids) {
+				t.Fatalf("%+v: leaf %d has %d layout nodes, want %d", spec, l, len(got), len(ids))
+			}
+			for k, id := range ids {
+				if int(got[k]) != id {
+					t.Errorf("%+v: leaf %d node %d = %d, want %d", spec, l, k, got[k], id)
+				}
+				if k > 0 && got[k-1] >= got[k] {
+					t.Errorf("%+v: leaf %d node IDs not ascending: %v", spec, l, got)
+				}
+			}
+		}
+	}
+}
+
+// TestLayoutSharedAndBounded pins the cache contract: one Layout per
+// topology (pointer-identical across calls, so the costmodel caches keyed
+// on the layout pointer stay coherent), and no layout at all beyond
+// MaxLayoutLeaves — the kernel must fall back to the reference loops
+// rather than index past its fixed-size scratch.
+func TestLayoutSharedAndBounded(t *testing.T) {
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{5}})
+	if a, b := LayoutOf(topo), LayoutOf(topo); a != b {
+		t.Errorf("LayoutOf returned distinct layouts %p, %p for one topology", a, b)
+	}
+	other := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{5}})
+	if LayoutOf(topo) == LayoutOf(other) {
+		t.Error("distinct topologies share a layout")
+	}
+
+	big := topology.MustGenerate(topology.Spec{NodesPerLeaf: 1, Fanouts: []int{MaxLayoutLeaves + 1}})
+	if lay := LayoutOf(big); lay != nil {
+		t.Errorf("LayoutOf returned a %d-leaf layout, want nil beyond %d leaves", lay.L, MaxLayoutLeaves)
+	}
+	atCap := topology.MustGenerate(topology.Spec{NodesPerLeaf: 1, Fanouts: []int{MaxLayoutLeaves}})
+	if LayoutOf(atCap) == nil {
+		t.Errorf("LayoutOf returned nil at exactly %d leaves", MaxLayoutLeaves)
+	}
+}

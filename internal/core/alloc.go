@@ -519,12 +519,42 @@ type adaptiveSelector struct{}
 
 func (adaptiveSelector) Name() string { return "adaptive" }
 
+// adaptiveJoin carries one candidate-costing task to its goroutine and the
+// result back. Joins are pooled with their (buffered) done channel so the
+// concurrent pricing path allocates only the goroutine's closure.
+type adaptiveJoin struct {
+	st      *cluster.State
+	job     cluster.JobID
+	class   cluster.Class
+	nodes   []int
+	pattern collective.Pattern
+	cost    float64
+	err     error
+	done    chan struct{}
+}
+
+var joinPool = sync.Pool{New: func() any {
+	return &adaptiveJoin{done: make(chan struct{}, 1)}
+}}
+
+func (j *adaptiveJoin) run() {
+	j.cost, j.err = costmodel.CandidateCost(j.st, j.job, j.class, j.nodes, j.pattern)
+	j.done <- struct{}{}
+}
+
 // Select implements §4.3: build both the greedy and the balanced
 // candidates, estimate each one's communication cost (Eq. 6, with the
-// candidate tentatively in place), and keep the cheaper candidate for
-// communication-intensive jobs or the more expensive one for
+// candidate counted towards contention), and keep the cheaper candidate
+// for communication-intensive jobs or the more expensive one for
 // compute-intensive jobs (preserving low-cost placements for comm jobs).
 // Ties go to the balanced candidate.
+//
+// When candidate costing is read-only (the overlay fast path), the two
+// candidates are priced concurrently: the balanced candidate on a spawned
+// goroutine, the greedy one inline, joined by candidate identity — a
+// bounded, deterministic two-way join whose result never depends on
+// completion order. When costing mutates the state (reference mode, or a
+// topology too large for the flat layout), pricing stays sequential.
 func (adaptiveSelector) Select(st *cluster.State, req Request) ([]int, error) {
 	g, err := greedySelector{}.Select(st, req)
 	if err != nil {
@@ -534,13 +564,28 @@ func (adaptiveSelector) Select(st *cluster.State, req Request) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	costG, err := costmodel.CandidateCost(st, req.Job, req.Class, g, req.Pattern)
-	if err != nil {
-		return nil, fmt.Errorf("core: adaptive: costing greedy candidate: %w", err)
+	var costG, costB float64
+	var errG, errB error
+	if costmodel.CandidateCostReadOnly(st) {
+		j := joinPool.Get().(*adaptiveJoin)
+		j.st, j.job, j.class, j.nodes, j.pattern = st, req.Job, req.Class, b, req.Pattern
+		go j.run()
+		costG, errG = costmodel.CandidateCost(st, req.Job, req.Class, g, req.Pattern)
+		<-j.done
+		costB, errB = j.cost, j.err
+		j.st, j.nodes, j.err = nil, nil, nil
+		joinPool.Put(j)
+	} else {
+		costG, errG = costmodel.CandidateCost(st, req.Job, req.Class, g, req.Pattern)
+		if errG == nil {
+			costB, errB = costmodel.CandidateCost(st, req.Job, req.Class, b, req.Pattern)
+		}
 	}
-	costB, err := costmodel.CandidateCost(st, req.Job, req.Class, b, req.Pattern)
-	if err != nil {
-		return nil, fmt.Errorf("core: adaptive: costing balanced candidate: %w", err)
+	if errG != nil {
+		return nil, fmt.Errorf("core: adaptive: costing greedy candidate: %w", errG)
+	}
+	if errB != nil {
+		return nil, fmt.Errorf("core: adaptive: costing balanced candidate: %w", errB)
 	}
 	if req.Class == cluster.CommIntensive {
 		if costG < costB {

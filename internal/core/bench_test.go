@@ -92,6 +92,38 @@ func TestSelectAllocations(t *testing.T) {
 	}
 }
 
+// TestAdaptiveSelectAllocations pins the adaptive selector's parallel
+// costing path to three heap allocations per call: the greedy and
+// balanced candidate node slices plus the costing goroutine's spawn.
+// Everything else — candidate validation, the overlay comm counters, the
+// leaf-pair hops values — lives in pooled scratch, so a regression here
+// means CandidateCost started allocating again.
+func TestAdaptiveSelectAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector goroutine instrumentation allocates; pin measured without -race")
+	}
+	st := benchState(t)
+	if !costmodel.CandidateCostReadOnly(st) {
+		t.Fatal("benchmark fixture should take the read-only candidate path")
+	}
+	sel := MustNew(Adaptive)
+	for _, class := range []cluster.Class{cluster.CommIntensive, cluster.ComputeIntensive} {
+		req := Request{Job: 1, Nodes: 511, Class: class, Pattern: collective.RD}
+		// Warm the scratch and join pools outside the measured runs.
+		if _, err := sel.Select(st, req); err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := sel.Select(st, req); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 3 {
+			t.Errorf("%v: %.1f allocs per adaptive Select, want <= 3 (two candidate slices + the costing goroutine)", class, allocs)
+		}
+	}
+}
+
 // TestBalancedSecondPassAvoidsFirstPassNodes pins the mark-on-slice
 // rewrite of appendAvoiding: the second pass must never duplicate a node
 // taken in the power-of-two pass, across repeated reuses of the pooled

@@ -52,48 +52,28 @@ func Hops(st *cluster.State, i, j int) float64 {
 //
 //	Cost = Σ_{steps n} max_{(a,b) ∈ S_n} Hops(nodes[a], nodes[b])
 //
-// The schedule's pair ranks must all be in [0, len(nodes)). Hops values
-// are memoized per leaf-switch pair for the duration of the evaluation
-// (see pairCache); SetReferenceMode forces the uncached loop.
+// The schedule's pair ranks must all be in [0, len(nodes)). The fast path
+// compiles the schedule's node pairs down to distinct leaf-switch pairs
+// (leafSchedule, cached per (schedule, node list)) and evaluates Hops once
+// per pair through the gen-keyed pairCache; SetReferenceMode forces the
+// uncached node-pair loop. Steps slices must not be mutated after being
+// costed (ScheduleFor's memoized schedules satisfy this by contract).
 func JobCost(st *cluster.State, nodes []int, steps []collective.Step) (float64, error) {
 	if referenceMode.Load() {
 		return jobCostRef(st, nodes, steps)
 	}
-	c := acquirePairCache(st, nodes)
-	if c == nil {
+	if len(steps) == 0 {
+		return 0, nil
+	}
+	lay := cluster.LayoutOf(st.Topology())
+	if lay == nil {
 		return jobCostRef(st, nodes, steps)
 	}
-	defer c.release()
-	total := 0.0
-	// Steps that share a pair set (the ring algorithm repeats one matching
-	// P-1 times) are charged the memoised maximum instead of rescanning.
-	var prevPairs *collective.Pair
-	prevMax := 0.0
-	for sIdx, step := range steps {
-		if len(step.Pairs) > 0 && prevPairs == &step.Pairs[0] {
-			total += prevMax
-			continue
-		}
-		max := 0.0
-		for _, p := range step.Pairs {
-			if p.A < 0 || p.A >= len(nodes) || p.B < 0 || p.B >= len(nodes) {
-				return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
-					sIdx, p.A, p.B, len(nodes))
-			}
-			if nodes[p.A] == nodes[p.B] {
-				continue // Hops(i,i) = 0, never the max
-			}
-			if h := c.at(nodes[p.A], nodes[p.B], c.rankLeaf[p.A], c.rankLeaf[p.B]); h > max {
-				max = h
-			}
-		}
-		if len(step.Pairs) > 0 {
-			prevPairs = &step.Pairs[0]
-			prevMax = max
-		}
-		total += max
+	ls, err := leafSchedFor(lay, nodes, steps)
+	if err != nil {
+		return 0, err
 	}
-	return total, nil
+	return ls.eval(st, false, false, 0), nil
 }
 
 // jobCostRef is the uncached reference implementation of JobCost, kept for
@@ -135,39 +115,18 @@ func JobCostHopBytes(st *cluster.State, nodes []int, steps []collective.Step, ba
 	if referenceMode.Load() {
 		return jobCostHopBytesRef(st, nodes, steps, baseMsgSize)
 	}
-	c := acquirePairCache(st, nodes)
-	if c == nil {
+	if len(steps) == 0 {
+		return 0, nil
+	}
+	lay := cluster.LayoutOf(st.Topology())
+	if lay == nil {
 		return jobCostHopBytesRef(st, nodes, steps, baseMsgSize)
 	}
-	defer c.release()
-	total := 0.0
-	var prevPairs *collective.Pair
-	prevMax := 0.0
-	for sIdx, step := range steps {
-		if len(step.Pairs) > 0 && prevPairs == &step.Pairs[0] {
-			total += prevMax * step.MsgSize * baseMsgSize
-			continue
-		}
-		max := 0.0
-		for _, p := range step.Pairs {
-			if p.A < 0 || p.A >= len(nodes) || p.B < 0 || p.B >= len(nodes) {
-				return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
-					sIdx, p.A, p.B, len(nodes))
-			}
-			if nodes[p.A] == nodes[p.B] {
-				continue
-			}
-			if h := c.at(nodes[p.A], nodes[p.B], c.rankLeaf[p.A], c.rankLeaf[p.B]); h > max {
-				max = h
-			}
-		}
-		if len(step.Pairs) > 0 {
-			prevPairs = &step.Pairs[0]
-			prevMax = max
-		}
-		total += max * step.MsgSize * baseMsgSize
+	ls, err := leafSchedFor(lay, nodes, steps)
+	if err != nil {
+		return 0, err
 	}
-	return total, nil
+	return ls.eval(st, false, true, baseMsgSize), nil
 }
 
 // jobCostHopBytesRef is the uncached reference implementation of
@@ -211,14 +170,50 @@ func PatternCost(st *cluster.State, nodes []int, p collective.Pattern) (float64,
 }
 
 // CandidateCost evaluates what Eq. 6 would be if the job were placed on the
-// candidate nodes: it tentatively allocates the job (so its own nodes count
-// towards contention, as in Figure 5), computes the cost, and rolls back.
-// The state is left unchanged.
+// candidate nodes, with the job's own nodes counting towards contention as
+// in Figure 5. The state is left unchanged: the fast path validates the
+// candidate exactly as Allocate would and then overlays the candidate's
+// per-leaf node counts onto the live comm counters during evaluation, so
+// it never mutates the state (see CandidateCostReadOnly). The reference
+// path tentatively allocates, costs, and rolls back.
 func CandidateCost(st *cluster.State, job cluster.JobID, class cluster.Class,
 	nodes []int, p collective.Pattern) (float64, error) {
 	if len(nodes) == 0 {
 		return 0, fmt.Errorf("costmodel: empty candidate allocation")
 	}
+	if referenceMode.Load() {
+		return candidateCostRef(st, job, class, nodes, p)
+	}
+	lay := cluster.LayoutOf(st.Topology())
+	if lay == nil {
+		return candidateCostRef(st, job, class, nodes, p)
+	}
+	if err := validateCandidate(st, job, nodes); err != nil {
+		return 0, fmt.Errorf("costmodel: candidate allocate: %w", err)
+	}
+	steps, err := ScheduleFor(p, len(nodes))
+	if err != nil {
+		return 0, err
+	}
+	if len(steps) == 0 {
+		return 0, nil
+	}
+	ls, err := leafSchedFor(lay, nodes, steps)
+	if err != nil {
+		return 0, err
+	}
+	// Only a communication-intensive candidate changes the comm counters;
+	// a compute-intensive one costs against the state as-is.
+	return ls.eval(st, class == cluster.CommIntensive, false, 0), nil
+}
+
+// candidateCostRef is the reference implementation of CandidateCost —
+// tentatively allocate, cost, roll back — kept for differential
+// equivalence checks and as the fallback for topologies too large for the
+// flat layout. It mutates the state (two generation bumps) and must not
+// run concurrently with other evaluations of the same state.
+func candidateCostRef(st *cluster.State, job cluster.JobID, class cluster.Class,
+	nodes []int, p collective.Pattern) (float64, error) {
 	if err := st.Allocate(job, class, nodes); err != nil {
 		return 0, fmt.Errorf("costmodel: candidate allocate: %w", err)
 	}
@@ -227,6 +222,16 @@ func CandidateCost(st *cluster.State, job cluster.JobID, class cluster.Class,
 		err = rerr
 	}
 	return cost, err
+}
+
+// CandidateCostReadOnly reports whether CandidateCost and
+// CandidateCostMode are currently pure reads of the state (the overlay
+// fast path) — and therefore safe to call from concurrent goroutines over
+// one state. False means candidate costing tentatively mutates the state
+// (reference mode, or a topology too large for the flat layout) and
+// callers must serialize.
+func CandidateCostReadOnly(st *cluster.State) bool {
+	return !referenceMode.Load() && cluster.LayoutOf(st.Topology()) != nil
 }
 
 // RuntimeRatio returns Cost_jobaware / Cost_default with the paper's

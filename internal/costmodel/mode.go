@@ -60,44 +60,106 @@ func JobCostMode(st *cluster.State, nodes []int, steps []collective.Step, mode M
 	case ModeHopBytes:
 		return JobCostHopBytes(st, nodes, steps, 1)
 	case ModeDistanceOnly:
-		topo := st.Topology()
-		total := 0.0
-		var prevPairs *collective.Pair
-		prevMax := 0
-		for sIdx, step := range steps {
-			if len(step.Pairs) > 0 && prevPairs == &step.Pairs[0] {
-				total += float64(prevMax)
-				continue
-			}
-			max := 0
-			for _, p := range step.Pairs {
-				if p.A < 0 || p.A >= len(nodes) || p.B < 0 || p.B >= len(nodes) {
-					return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
-						sIdx, p.A, p.B, len(nodes))
-				}
-				if d := topo.Distance(nodes[p.A], nodes[p.B]); d > max {
-					max = d
-				}
-			}
-			if len(step.Pairs) > 0 {
-				prevPairs = &step.Pairs[0]
-				prevMax = max
-			}
-			total += float64(max)
+		if referenceMode.Load() {
+			return jobCostDistanceRef(st, nodes, steps)
 		}
-		return total, nil
+		if len(steps) == 0 {
+			return 0, nil
+		}
+		lay := cluster.LayoutOf(st.Topology())
+		if lay == nil {
+			return jobCostDistanceRef(st, nodes, steps)
+		}
+		ls, err := leafSchedFor(lay, nodes, steps)
+		if err != nil {
+			return 0, err
+		}
+		return ls.evalDistance(), nil
 	default:
 		return 0, fmt.Errorf("costmodel: unknown mode %d", uint8(mode))
 	}
 }
 
-// CandidateCostMode is CandidateCost under the chosen mode: tentatively
-// allocates the candidate, costs it, and rolls back.
+// jobCostDistanceRef is the uncached reference implementation of the
+// distance-only ablation: the per-step max of the integer d(i,j), summed
+// over steps.
+func jobCostDistanceRef(st *cluster.State, nodes []int, steps []collective.Step) (float64, error) {
+	topo := st.Topology()
+	total := 0.0
+	var prevPairs *collective.Pair
+	prevMax := 0
+	for sIdx, step := range steps {
+		if len(step.Pairs) > 0 && prevPairs == &step.Pairs[0] {
+			total += float64(prevMax)
+			continue
+		}
+		max := 0
+		for _, p := range step.Pairs {
+			if p.A < 0 || p.A >= len(nodes) || p.B < 0 || p.B >= len(nodes) {
+				return 0, fmt.Errorf("costmodel: step %d pair (%d,%d) out of range for %d nodes",
+					sIdx, p.A, p.B, len(nodes))
+			}
+			if d := topo.Distance(nodes[p.A], nodes[p.B]); d > max {
+				max = d
+			}
+		}
+		if len(step.Pairs) > 0 {
+			prevPairs = &step.Pairs[0]
+			prevMax = max
+		}
+		total += float64(max)
+	}
+	return total, nil
+}
+
+// CandidateCostMode is CandidateCost under the chosen mode. Like
+// CandidateCost, the fast path validates and then costs through the
+// read-only candidate overlay; the reference path tentatively allocates,
+// costs, and rolls back.
 func CandidateCostMode(st *cluster.State, job cluster.JobID, class cluster.Class,
 	nodes []int, p collective.Pattern, mode Mode) (float64, error) {
 	if len(nodes) == 0 {
 		return 0, fmt.Errorf("costmodel: empty candidate allocation")
 	}
+	if referenceMode.Load() {
+		return candidateCostModeRef(st, job, class, nodes, p, mode)
+	}
+	lay := cluster.LayoutOf(st.Topology())
+	if lay == nil {
+		return candidateCostModeRef(st, job, class, nodes, p, mode)
+	}
+	if err := validateCandidate(st, job, nodes); err != nil {
+		return 0, fmt.Errorf("costmodel: candidate allocate: %w", err)
+	}
+	steps, err := ScheduleFor(p, len(nodes))
+	if err != nil {
+		return 0, err
+	}
+	if len(steps) == 0 {
+		return 0, nil
+	}
+	ls, err := leafSchedFor(lay, nodes, steps)
+	if err != nil {
+		return 0, err
+	}
+	overlay := class == cluster.CommIntensive
+	switch mode {
+	case ModeEffectiveHops:
+		return ls.eval(st, overlay, false, 0), nil
+	case ModeHopBytes:
+		return ls.eval(st, overlay, true, 1), nil
+	case ModeDistanceOnly:
+		// Distance ignores contention, so the overlay is irrelevant.
+		return ls.evalDistance(), nil
+	default:
+		return 0, fmt.Errorf("costmodel: unknown mode %d", uint8(mode))
+	}
+}
+
+// candidateCostModeRef is the reference implementation of
+// CandidateCostMode: tentatively allocate, cost under the mode, roll back.
+func candidateCostModeRef(st *cluster.State, job cluster.JobID, class cluster.Class,
+	nodes []int, p collective.Pattern, mode Mode) (float64, error) {
 	if err := st.Allocate(job, class, nodes); err != nil {
 		return 0, fmt.Errorf("costmodel: candidate allocate: %w", err)
 	}

@@ -5,118 +5,84 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
-	"repro/internal/topology"
 )
 
-// referenceMode, when set, routes JobCost/JobCostHopBytes through the
-// uncached reference loops. The differential harness flips it to prove the
-// cached fast path bit-identical; toggle only between runs.
+// referenceMode, when set, routes cost evaluation through the uncached
+// reference loops. The differential harness flips it to prove the
+// leaf-aggregated fast paths bit-identical; toggle only between runs.
 var referenceMode atomic.Bool
 
-// SetReferenceMode switches cost evaluation between the leaf-pair cache
-// and the uncached reference implementation. It is process-global.
+// SetReferenceMode switches cost evaluation between the leaf-aggregated
+// kernel (with its gen-keyed pair cache) and the uncached reference
+// implementation. It is process-global.
 func SetReferenceMode(on bool) { referenceMode.Store(on) }
 
 // ReferenceMode reports whether the reference (uncached) path is active.
 func ReferenceMode() bool { return referenceMode.Load() }
 
-// maxCachedLeaves bounds the leaf-pair matrix. The largest evaluated
-// machine (Mira) has 128 leaf switches; topologies with more leaves fall
-// back to the uncached path rather than grow the matrix.
-const maxCachedLeaves = 128
+// maxCachedLeaves bounds the leaf-pair matrix, matching the flat layout's
+// ceiling: the largest evaluated machine (Mira) has 128 leaf switches;
+// topologies with more leaves fall back to the uncached path rather than
+// grow the matrix.
+const maxCachedLeaves = cluster.MaxLayoutLeaves
 
-// pairCache memoizes Hops per leaf-switch pair for one (state, generation)
-// era. Eq. 5's Hops(i,j) = d(i,j)·(1+C(i,j)) depends on nodes i ≠ j only
-// through their leaves — d is twice the leaves' lowest-common-switch level
-// and C reads per-leaf counters — so the P·log P node pairs of a
-// collective schedule need at most k² Hops computations for k distinct
-// leaves touched. Entries are invalidated wholesale by bumping epoch when
-// the state pointer or its Generation() changes (any allocate, release,
-// drain or resume), never cleared: per-entry epoch stamps make stale slots
-// misses. Caches are pooled and reused across calls, so evaluations
-// against an unchanged state (e.g. rank-remapping's hill climb) share one
-// warm matrix.
+// pairCache memoizes live Hops per leaf-switch pair for one
+// (state, generation) era. Eq. 5's Hops(i,j) = d(i,j)·(1+C(i,j)) depends
+// on nodes i ≠ j only through their leaves — d is twice the leaves'
+// lowest-common-switch level and C reads per-leaf counters — so a
+// schedule's distinct leaf pairs need one Hops computation each. The
+// matrix is indexed by real leaf indices (the same ids the leaf-aggregated
+// schedule stores). Entries are invalidated wholesale by bumping epoch
+// when the state pointer or its Generation() changes (any allocate,
+// release, drain or resume), never cleared: per-entry epoch stamps make
+// stale slots misses. Caches are pooled and reused across calls, so
+// evaluations against an unchanged state (e.g. rank-remapping's hill
+// climb) share one warm matrix; concurrent evaluations draw distinct
+// pooled instances, so the memo is never shared between goroutines.
 type pairCache struct {
 	st    *cluster.State
-	topo  *topology.Topology
+	lay   *cluster.Layout
 	gen   uint64
 	epoch uint32
-	k     int // compact leaf ids assigned this era
 
-	leafC     []int32  // leaf index -> compact id, valid when leafEpoch matches
-	leafEpoch []uint32 // per leaf: epoch that assigned leafC
 	hops      []float64
 	hopsEpoch []uint32
-	rankLeaf  []int32 // per job rank: compact leaf id (rebuilt per call)
 }
 
 var pairCachePool = sync.Pool{New: func() any { return new(pairCache) }}
 
-// acquirePairCache returns a cache bound to st's current generation, with
-// rankLeaf filled for the job's nodes, or nil when the topology is too
-// large to cache (the caller then uses the reference path). Callers must
-// release the cache and must not mutate st while holding it.
-func acquirePairCache(st *cluster.State, nodes []int) *pairCache {
-	topo := st.Topology()
-	if topo.NumLeaves() > maxCachedLeaves {
-		return nil
-	}
+// acquirePairCache returns a cache bound to st's current generation.
+// Callers must release the cache and must not mutate st while holding it.
+// The layout must be st's topology's (non-nil, so NumLeaves fits the
+// matrix).
+func acquirePairCache(st *cluster.State, lay *cluster.Layout) *pairCache {
 	c := pairCachePool.Get().(*pairCache)
-	if cap(c.leafC) < topo.NumLeaves() {
-		c.leafC = make([]int32, topo.NumLeaves())
-		c.leafEpoch = make([]uint32, topo.NumLeaves())
-	}
-	c.leafC = c.leafC[:topo.NumLeaves()]
-	c.leafEpoch = c.leafEpoch[:topo.NumLeaves()]
 	if c.hops == nil {
 		c.hops = make([]float64, maxCachedLeaves*maxCachedLeaves)
 		c.hopsEpoch = make([]uint32, maxCachedLeaves*maxCachedLeaves)
 	}
-	if c.st != st || c.topo != topo || c.gen != st.Generation() {
-		c.st, c.topo, c.gen = st, topo, st.Generation()
-		c.k = 0
+	if c.st != st || c.lay != lay || c.gen != st.Generation() {
+		c.st, c.lay, c.gen = st, lay, st.Generation()
 		c.epoch++
 		if c.epoch == 0 { // epoch wrapped: stale stamps could collide
-			clear(c.leafEpoch)
 			clear(c.hopsEpoch)
 			c.epoch = 1
 		}
-	}
-	if cap(c.rankLeaf) < len(nodes) {
-		c.rankLeaf = make([]int32, len(nodes))
-	}
-	c.rankLeaf = c.rankLeaf[:len(nodes)]
-	for i, id := range nodes {
-		l := topo.LeafOf(id)
-		if c.leafEpoch[l] != c.epoch {
-			if c.k == maxCachedLeaves {
-				c.release()
-				return nil
-			}
-			c.leafC[l] = int32(c.k)
-			c.leafEpoch[l] = c.epoch
-			c.k++
-		}
-		c.rankLeaf[i] = c.leafC[l]
 	}
 	return c
 }
 
 func (c *pairCache) release() { pairCachePool.Put(c) }
 
-// at returns Hops(i, j) for distinct nodes i, j on compact leaves ci, cj,
-// computing it via the reference Hops function on first touch so cached
-// and uncached evaluations are bit-identical.
-func (c *pairCache) at(i, j int, ci, cj int32) float64 {
-	idx := int(ci)*maxCachedLeaves + int(cj)
+// at returns Hops between leaves li ≤ lj, computing it via leafHops on
+// first touch so cached and uncached evaluations are bit-identical.
+func (c *pairCache) at(li, lj int32) float64 {
+	idx := int(li)*maxCachedLeaves + int(lj)
 	if c.hopsEpoch[idx] == c.epoch {
 		return c.hops[idx]
 	}
-	v := Hops(c.st, i, j)
+	v := leafHops(c.st, c.lay, li, lj)
 	c.hops[idx] = v
 	c.hopsEpoch[idx] = c.epoch
-	sym := int(cj)*maxCachedLeaves + int(ci)
-	c.hops[sym] = v
-	c.hopsEpoch[sym] = c.epoch
 	return v
 }

@@ -1,0 +1,220 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/workload"
+)
+
+// TestCacheInvalidationUnderChurn is the invalidation property for the
+// generation-keyed caches behind the leaf-aggregated cost kernel: across
+// interleaved Allocate/Release/Drain/Resume sequences (every kind of
+// generation bump), the fast paths — pair-cache-backed JobCost, the
+// overlay CandidateCost, and their mode variants — must stay bit-identical
+// to the reference loops evaluated on the very same state. A single stale
+// cache entry, missed generation bump, or desynchronised SoA layout shows
+// up as a float64 bit mismatch.
+func TestCacheInvalidationUnderChurn(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		spec := DefaultSpec(seed)
+		topo, trace, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		st := cluster.New(topo)
+		rng := rand.New(rand.NewSource(seed ^ 0xcac4e))
+		sel := core.MustNew(core.Greedy)
+
+		var live []activeJob
+		next := 0
+		for op := 0; op < 120 && (next < len(trace.Jobs) || len(live) > 0); op++ {
+			mutated := false
+			if next < len(trace.Jobs) && (len(live) == 0 || rng.Float64() < 0.6) {
+				job := trace.Jobs[next]
+				nodes, serr := sel.Select(st, core.Request{
+					Job: job.ID, Nodes: job.Nodes, Class: job.Class, Pattern: jobPattern(job),
+				})
+				if serr == nil {
+					if err := st.Allocate(job.ID, job.Class, nodes); err != nil {
+						t.Fatalf("%v op %d: allocate: %v", spec, op, err)
+					}
+					live = append(live, activeJob{job.ID, nodes, jobPattern(job)})
+					next++
+					mutated = true
+				}
+			}
+			if !mutated && len(live) > 0 {
+				i := rng.Intn(len(live))
+				if err := st.Release(live[i].id); err != nil {
+					t.Fatalf("%v op %d: release: %v", spec, op, err)
+				}
+				live = append(live[:i], live[i+1:]...)
+				mutated = true
+			}
+			if !mutated {
+				continue
+			}
+			// Drain/Resume bump the generation without touching comm
+			// counters — the cache must not serve entries across them
+			// either.
+			if rng.Float64() < 0.25 {
+				for id := 0; id < topo.NumNodes(); id++ {
+					if st.NodeFree(id) {
+						if err := st.Drain(id); err != nil {
+							t.Fatalf("%v op %d: drain: %v", spec, op, err)
+						}
+						if err := st.Resume(id); err != nil {
+							t.Fatalf("%v op %d: resume: %v", spec, op, err)
+						}
+						break
+					}
+				}
+			}
+			checkFastRefBitIdentical(t, st, live, spec.String(), op)
+			// Clones get their own cache key (the cache is keyed on the
+			// state pointer as well as the generation): a fresh clone must
+			// cost identically to its own reference, not inherit entries
+			// from the original.
+			if rng.Float64() < 0.2 {
+				checkFastRefBitIdentical(t, st.Clone(), live, spec.String()+" (clone)", op)
+			}
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("%v op %d: %v", spec, op, err)
+			}
+		}
+		if next == 0 {
+			t.Fatalf("%v: trace scheduled no jobs, property vacuous", spec)
+		}
+	}
+}
+
+// activeJob is one currently-allocated job in the churn property.
+type activeJob struct {
+	id      cluster.JobID
+	nodes   []int
+	pattern collective.Pattern
+}
+
+// checkFastRefBitIdentical costs every live job and one synthetic
+// candidate through the fast paths and then through the reference loops,
+// requiring bit-identical float64 results.
+func checkFastRefBitIdentical(t *testing.T, st *cluster.State, live []activeJob, spec string, op int) {
+	t.Helper()
+	for _, a := range live {
+		steps, err := costmodel.ScheduleFor(a.pattern, len(a.nodes))
+		if err != nil {
+			t.Fatalf("%s op %d: schedule: %v", spec, op, err)
+		}
+		fastCost, err := costmodel.JobCost(st, a.nodes, steps)
+		if err != nil {
+			t.Fatalf("%s op %d: fast JobCost: %v", spec, op, err)
+		}
+		fastHB, err := costmodel.JobCostHopBytes(st, a.nodes, steps, 1)
+		if err != nil {
+			t.Fatalf("%s op %d: fast JobCostHopBytes: %v", spec, op, err)
+		}
+		fastDist, err := costmodel.JobCostMode(st, a.nodes, steps, costmodel.ModeDistanceOnly)
+		if err != nil {
+			t.Fatalf("%s op %d: fast distance JobCostMode: %v", spec, op, err)
+		}
+		refCost, refHB, refDist := referenceCosts(t, st, a.nodes, steps, spec, op)
+		if math.Float64bits(fastCost) != math.Float64bits(refCost) {
+			t.Fatalf("%s op %d job %d: fast JobCost %v != reference %v", spec, op, a.id, fastCost, refCost)
+		}
+		if math.Float64bits(fastHB) != math.Float64bits(refHB) {
+			t.Fatalf("%s op %d job %d: fast hop-bytes %v != reference %v", spec, op, a.id, fastHB, refHB)
+		}
+		if math.Float64bits(fastDist) != math.Float64bits(refDist) {
+			t.Fatalf("%s op %d job %d: fast distance %v != reference %v", spec, op, a.id, fastDist, refDist)
+		}
+	}
+	checkCandidateParity(t, st, spec, op)
+}
+
+// referenceCosts evaluates the three job-cost variants with both packages
+// forced into reference mode.
+func referenceCosts(t *testing.T, st *cluster.State, nodes []int, steps []collective.Step, spec string, op int) (cost, hb, dist float64) {
+	t.Helper()
+	cluster.SetReferenceMode(true)
+	costmodel.SetReferenceMode(true)
+	defer func() {
+		cluster.SetReferenceMode(false)
+		costmodel.SetReferenceMode(false)
+	}()
+	cost, err := costmodel.JobCost(st, nodes, steps)
+	if err != nil {
+		t.Fatalf("%s op %d: reference JobCost: %v", spec, op, err)
+	}
+	hb, err = costmodel.JobCostHopBytes(st, nodes, steps, 1)
+	if err != nil {
+		t.Fatalf("%s op %d: reference JobCostHopBytes: %v", spec, op, err)
+	}
+	dist, err = costmodel.JobCostMode(st, nodes, steps, costmodel.ModeDistanceOnly)
+	if err != nil {
+		t.Fatalf("%s op %d: reference distance JobCostMode: %v", spec, op, err)
+	}
+	return cost, hb, dist
+}
+
+// checkCandidateParity prices a synthetic candidate over the currently
+// free nodes through the read-only overlay and through the reference
+// allocate/cost/rollback path, for both job classes (only comm-intensive
+// candidates overlay the comm counters).
+func checkCandidateParity(t *testing.T, st *cluster.State, spec string, op int) {
+	t.Helper()
+	var cand []int
+	for id := 0; id < st.Topology().NumNodes() && len(cand) < 8; id++ {
+		if st.NodeFree(id) {
+			cand = append(cand, id)
+		}
+	}
+	if len(cand) < 2 {
+		return
+	}
+	const candJob = cluster.JobID(1 << 30)
+	for _, class := range []cluster.Class{cluster.CommIntensive, cluster.ComputeIntensive} {
+		fast, err := costmodel.CandidateCost(st, candJob, class, cand, collective.RD)
+		if err != nil {
+			t.Fatalf("%s op %d: fast CandidateCost: %v", spec, op, err)
+		}
+		gen := st.Generation()
+		cluster.SetReferenceMode(true)
+		costmodel.SetReferenceMode(true)
+		ref, err := costmodel.CandidateCost(st, candJob, class, cand, collective.RD)
+		cluster.SetReferenceMode(false)
+		costmodel.SetReferenceMode(false)
+		if err != nil {
+			t.Fatalf("%s op %d: reference CandidateCost: %v", spec, op, err)
+		}
+		if math.Float64bits(fast) != math.Float64bits(ref) {
+			t.Fatalf("%s op %d class %v: fast CandidateCost %v != reference %v", spec, op, class, fast, ref)
+		}
+		// The reference path allocates and rolls back (two generation
+		// bumps); the cache must treat the rolled-back state as new.
+		if st.Generation() == gen {
+			t.Fatalf("%s op %d: reference CandidateCost did not bump generation", spec, op)
+		}
+		again, err := costmodel.CandidateCost(st, candJob, class, cand, collective.RD)
+		if err != nil {
+			t.Fatalf("%s op %d: re-priced CandidateCost: %v", spec, op, err)
+		}
+		if math.Float64bits(again) != math.Float64bits(fast) {
+			t.Fatalf("%s op %d class %v: CandidateCost unstable across rollback: %v then %v", spec, op, class, fast, again)
+		}
+	}
+}
+
+// jobPattern extracts the costing pattern for a generated job (RD for the
+// compute-only jobs, which still get priced by the selectors).
+func jobPattern(j workload.Job) collective.Pattern {
+	if len(j.Mix.Comms) > 0 {
+		return j.Mix.Comms[0].Pattern
+	}
+	return collective.RD
+}
