@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check build vet lint test race fuzz-smoke verify bench bench-smoke bench-compare
+.PHONY: check build vet lint test race fuzz-smoke verify bench bench-smoke bench-compare coverage
 
 check: vet lint build race fuzz-smoke
 
@@ -25,10 +25,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz runs of both native fuzz targets; CI smoke, not a soak.
+# Short fuzz runs of the native fuzz targets; CI smoke, not a soak. The
+# scheduled CI fuzz job runs the same three targets at FUZZTIME=5m.
 fuzz-smoke:
 	$(GO) test ./internal/core -run FuzzAllocate -fuzz FuzzAllocate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run FuzzRunContinuous -fuzz FuzzRunContinuous -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run FuzzFaultTrace -fuzz FuzzFaultTrace -fuzztime $(FUZZTIME)
+
+# Statement-coverage gate: fails when total coverage over ./internal/...
+# drops below the floor in scripts/coverage-floor.txt.
+coverage:
+	sh scripts/coverage-check.sh
 
 # Longer differential sweep (override SEEDS for overnight soaks).
 SEEDS ?= 500

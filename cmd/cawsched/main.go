@@ -23,6 +23,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/export"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/swf"
@@ -49,17 +50,23 @@ func main() {
 		csvPath   = flag.String("csv", "", "write per-job results of the last run as CSV to this file")
 		jsonPath  = flag.String("json", "", "write the algorithm comparison as JSON to this file")
 		validate  = flag.Bool("validate", true, "self-audit every run (capacity, ordering, backfill legality, Eq. 7)")
+		mtbf      = flag.Float64("mtbf", 0, "per-node mean time between failures in seconds (0 disables fault injection)")
+		mttr      = flag.Float64("mttr", 3600, "per-node mean time to repair in seconds")
+		drainFrac = flag.Float64("drainfrac", 0.25, "fraction of outages that are graceful drains instead of hard failures")
+		faultSeed = flag.Int64("faultseed", 1, "seed for the fault-injection model")
 	)
 	flag.Parse()
+	fm := faults.Model{MTBF: *mtbf, MTTR: *mttr, DrainFraction: *drainFrac, Seed: *faultSeed}
 	if err := run(*machine, *topoPath, *logPath, *jobs, *seed, *algName, *patName, *policy,
-		*commFrac, *commShare, *compare, *noBF, *remap, *perJob, *validate, *csvPath, *jsonPath); err != nil {
+		*commFrac, *commShare, *compare, *noBF, *remap, *perJob, *validate, *csvPath, *jsonPath, fm); err != nil {
 		fmt.Fprintln(os.Stderr, "cawsched:", err)
 		os.Exit(1)
 	}
 }
 
 func run(machine, topoPath, logPath string, jobs int, seed int64, algName, patName, policyName string,
-	commFrac, commShare float64, compare, noBF, remap, perJob, validate bool, csvPath, jsonPath string) error {
+	commFrac, commShare float64, compare, noBF, remap, perJob, validate bool, csvPath, jsonPath string,
+	fm faults.Model) error {
 	pattern, err := collective.ParsePattern(patName)
 	if err != nil {
 		return err
@@ -106,6 +113,16 @@ func run(machine, topoPath, logPath string, jobs int, seed int64, algName, patNa
 	fmt.Printf("trace: %s — %d jobs, %d..%d nodes, %d comm-intensive, machine %d nodes\n",
 		trace.Name, st.Jobs, st.MinNodes, st.MaxNodes, st.CommJobs, topo.NumNodes())
 
+	var ftrace faults.Trace
+	if fm.MTBF > 0 {
+		// Cover the submit span plus the time a perfectly packed machine
+		// would need to drain the queue, so outages can hit late jobs too.
+		horizon := st.SpanSec + st.TotalNodeSec/float64(topo.NumNodes())
+		ftrace = fm.Generate(topo.NumNodes(), horizon)
+		fmt.Printf("faults: MTBF %.0fs, MTTR %.0fs, drain %.0f%% — %d events over %.1fh\n",
+			fm.MTBF, fm.MTTR, fm.DrainFraction*100, len(ftrace), horizon/3600)
+	}
+
 	algs := []core.Algorithm{}
 	if compare {
 		algs = append(algs, core.Algorithms...)
@@ -118,12 +135,16 @@ func run(machine, topoPath, logPath string, jobs int, seed int64, algName, patNa
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "algorithm\texec(h)\twait(h)\tavg TAT(h)\tnode-hours\tavg comm cost\tmakespan(h)")
+	if len(ftrace) > 0 {
+		fmt.Fprintln(w, "algorithm\texec(h)\twait(h)\tavg TAT(h)\tnode-hours\tavg comm cost\tmakespan(h)\trequeues\tlost(nh)")
+	} else {
+		fmt.Fprintln(w, "algorithm\texec(h)\twait(h)\tavg TAT(h)\tnode-hours\tavg comm cost\tmakespan(h)")
+	}
 	var results []*sim.Result
 	for _, alg := range algs {
 		cfg := sim.Config{
 			Topology: topo, Algorithm: alg, DisableBackfill: noBF, RankRemap: remap,
-			Policy: policy,
+			Policy: policy, Faults: ftrace,
 		}
 		var res *sim.Result
 		if validate {
@@ -136,9 +157,16 @@ func run(machine, topoPath, logPath string, jobs int, seed int64, algName, patNa
 		}
 		results = append(results, res)
 		s := res.Summary
-		fmt.Fprintf(w, "%v\t%.1f\t%.1f\t%.2f\t%.0f\t%.2f\t%.1f\n",
-			alg, s.TotalExecHours, s.TotalWaitHours, s.AvgTurnaroundHours,
-			s.TotalNodeHours, s.AvgCommCost, s.MakespanHours)
+		if len(ftrace) > 0 {
+			fmt.Fprintf(w, "%v\t%.1f\t%.1f\t%.2f\t%.0f\t%.2f\t%.1f\t%d\t%.1f\n",
+				alg, s.TotalExecHours, s.TotalWaitHours, s.AvgTurnaroundHours,
+				s.TotalNodeHours, s.AvgCommCost, s.MakespanHours,
+				s.Requeues, s.LostNodeHours)
+		} else {
+			fmt.Fprintf(w, "%v\t%.1f\t%.1f\t%.2f\t%.0f\t%.2f\t%.1f\n",
+				alg, s.TotalExecHours, s.TotalWaitHours, s.AvgTurnaroundHours,
+				s.TotalNodeHours, s.AvgCommCost, s.MakespanHours)
+		}
 	}
 	if err := w.Flush(); err != nil {
 		return err

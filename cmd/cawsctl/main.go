@@ -10,6 +10,7 @@
 //	cawsctl cancel -id 7                                               (scancel)
 //	cawsctl drain -node n17
 //	cawsctl resume -node n17
+//	cawsctl fail -node n17    (hard failure: kills and requeues the job)
 //	cawsctl replay -log trace.swf -speedup 1000 -comm 0.9 -pattern RHVD
 //	cawsctl shutdown
 //
@@ -106,8 +107,9 @@ func run(addr, sub string, rest []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("algorithm %s, %d/%d nodes free (%d down), virtual time %.1fs\n",
-			resp.Algorithm, resp.FreeNodes, resp.MachineNodes, resp.DownNodes, resp.VirtualNow)
+		fmt.Printf("algorithm %s, %d/%d nodes free (%d down, %d failed), virtual time %.1fs\n",
+			resp.Algorithm, resp.FreeNodes, resp.MachineNodes, resp.DownNodes,
+			resp.FailedNodes, resp.VirtualNow)
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "switch\tnodes\tbusy\tcomm\tratio")
 		for _, l := range resp.Leafs {
@@ -122,6 +124,10 @@ func run(addr, sub string, rest []string) error {
 		}
 		fmt.Printf("completed %d jobs: %.2f exec hours, %.2f wait hours, avg comm cost %.2f\n",
 			resp.Completed, resp.TotalExecHours, resp.TotalWaitHours, resp.AvgCommCost)
+		if resp.Requeues > 0 {
+			fmt.Printf("requeues %d, lost %.2f node-hours to node failures\n",
+				resp.Requeues, resp.LostNodeHours)
+		}
 		return nil
 
 	case "cancel":
@@ -142,6 +148,23 @@ func run(addr, sub string, rest []string) error {
 			return client.Drain(*node)
 		}
 		return client.Resume(*node)
+
+	case "fail":
+		fs := flag.NewFlagSet("fail", flag.ExitOnError)
+		node := fs.String("node", "", "node name")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		victim, err := client.Fail(*node)
+		if err != nil {
+			return err
+		}
+		if victim > 0 {
+			fmt.Printf("node %s failed, job %d requeued\n", *node, victim)
+		} else {
+			fmt.Printf("node %s failed (idle)\n", *node)
+		}
+		return nil
 
 	case "replay":
 		fs := flag.NewFlagSet("replay", flag.ExitOnError)

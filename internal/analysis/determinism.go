@@ -16,6 +16,7 @@ var DefaultDeterminismScope = []string{
 	"repro/internal/cluster",
 	"repro/internal/costmodel",
 	"repro/internal/collective",
+	"repro/internal/faults",
 }
 
 // allowedRandConstructors are the math/rand package-level functions that

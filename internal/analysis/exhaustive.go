@@ -22,6 +22,7 @@ var DefaultEnums = []EnumSpec{
 	{"repro/internal/costmodel", "Mode"},
 	{"repro/internal/collective", "Pattern"},
 	{"repro/internal/cluster", "Class"},
+	{"repro/internal/faults", "Kind"},
 }
 
 // Exhaustive checks every switch over a configured enum type: either all

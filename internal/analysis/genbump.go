@@ -27,8 +27,8 @@ var DefaultGenBumpConfig = GenBumpConfig{
 	PkgPath:  "repro/internal/cluster",
 	TypeName: "State",
 	Guarded: []string{
-		"nodeJob", "nodeDown", "leafBusy", "leafComm", "leafShare",
-		"leafUnavail", "free", "switchFree", "allocs",
+		"nodeJob", "nodeDown", "nodeFailed", "leafBusy", "leafComm",
+		"leafShare", "leafUnavail", "free", "switchFree", "allocs",
 	},
 	Counter: "gen",
 }

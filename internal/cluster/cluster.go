@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -14,6 +15,12 @@ import (
 
 	"repro/internal/topology"
 )
+
+// ErrNodeUnavailable is wrapped into Allocate errors caused by a drained
+// or failed node in the requested set. Callers racing allocation against
+// node-state changes (the daemon) match it with errors.Is and retry the
+// selection instead of treating the condition as fatal.
+var ErrNodeUnavailable = errors.New("node unavailable")
 
 // referenceMode, when set, makes SwitchFree recompute subtree free counts
 // by scanning descendant leaves (the pre-optimization behaviour) instead of
@@ -70,9 +77,13 @@ type State struct {
 	topo *topology.Topology
 
 	nodeJob  []JobID // per node: owning job, or -1 when free
-	nodeDown []bool  // per node: drained (ineligible for new allocations)
-	leafBusy []int   // per leaf: allocated node count (L_busy)
-	leafComm []int   // per leaf: nodes running comm-intensive jobs (L_comm)
+	nodeDown []bool  // per node: out of service (ineligible for new allocations)
+	// nodeFailed distinguishes hard failures from graceful drains among the
+	// down nodes: a failed node's job was killed and requeued, a drained
+	// node's job ran to completion. failed ⇒ down always holds.
+	nodeFailed []bool
+	leafBusy   []int // per leaf: allocated node count (L_busy)
+	leafComm   []int // per leaf: nodes running comm-intensive jobs (L_comm)
 	// leafShare[l] is L_comm/L_nodes for leaf l — the per-switch contention
 	// term of Eq. 2/3 — maintained incrementally whenever leafComm changes,
 	// so cost evaluation reads a float instead of dividing per pair. Each
@@ -111,6 +122,7 @@ func New(topo *topology.Topology) *State {
 		topo:        topo,
 		nodeJob:     make([]JobID, topo.NumNodes()),
 		nodeDown:    make([]bool, topo.NumNodes()),
+		nodeFailed:  make([]bool, topo.NumNodes()),
 		leafBusy:    make([]int, topo.NumLeaves()),
 		leafComm:    make([]int, topo.NumLeaves()),
 		leafShare:   make([]float64, topo.NumLeaves()),
@@ -289,7 +301,8 @@ func (s *State) Allocate(job JobID, class Class, nodes []int) error {
 				job, id, s.nodeJob[id])
 		}
 		if s.nodeDown[id] {
-			return fmt.Errorf("cluster: job %d: node %d is drained", job, id)
+			return fmt.Errorf("cluster: job %d: node %d is %s: %w",
+				job, id, s.downWord(id), ErrNodeUnavailable)
 		}
 	}
 	sorted := append([]int(nil), nodes...)
@@ -349,6 +362,7 @@ func (s *State) Clone() *State {
 		topo:        s.topo,
 		nodeJob:     append([]JobID(nil), s.nodeJob...),
 		nodeDown:    append([]bool(nil), s.nodeDown...),
+		nodeFailed:  append([]bool(nil), s.nodeFailed...),
 		leafBusy:    append([]int(nil), s.leafBusy...),
 		leafComm:    append([]int(nil), s.leafComm...),
 		leafShare:   append([]float64(nil), s.leafShare...),
@@ -378,6 +392,16 @@ func (s *State) CheckInvariants() error {
 	freeCount := 0
 	owned := make(map[JobID]int)
 	for id, job := range s.nodeJob {
+		if s.nodeFailed[id] {
+			// Hard failures imply the node is down and its job was killed:
+			// a failed node must never carry a live allocation.
+			if !s.nodeDown[id] {
+				return fmt.Errorf("node %d failed but not down", id)
+			}
+			if job >= 0 {
+				return fmt.Errorf("failed node %d still allocated to job %d", id, job)
+			}
+		}
 		if job < 0 {
 			if s.nodeDown[id] {
 				unavail[s.topo.LeafOf(id)]++

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestFailFreeNode(t *testing.T) {
+	s := New(topology.PaperExample())
+	victim, err := s.Fail(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim != -1 {
+		t.Fatalf("victim = %d on a free node, want -1", victim)
+	}
+	if !s.NodeDown(0) || !s.NodeFailed(0) {
+		t.Fatal("failed node not marked down+failed")
+	}
+	if s.FreeTotal() != 7 {
+		t.Fatalf("free = %d, want 7", s.FreeTotal())
+	}
+	if got := s.FailedTotal(); got != 1 {
+		t.Fatalf("FailedTotal = %d, want 1", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Double fail is a no-op.
+	if _, err := s.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeTotal() != 7 {
+		t.Fatal("double fail changed counts")
+	}
+	if err := s.Repair(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeTotal() != 8 || s.NodeFailed(0) || s.NodeDown(0) {
+		t.Fatal("repair did not restore the node")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailBusyNodeReturnsVictim(t *testing.T) {
+	s := New(topology.PaperExample())
+	if err := s.Allocate(7, CommIntensive, []int{0, 1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.Fail(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim != 7 {
+		t.Fatalf("victim = %d, want 7", victim)
+	}
+	// The failed node still belongs to the job until the caller kills it:
+	// repairing now must be rejected, invariants are only expected to hold
+	// again after the Release.
+	if err := s.Repair(1); err == nil {
+		t.Fatal("repaired a failed node still carrying an allocation")
+	}
+	if err := s.Release(7); err != nil {
+		t.Fatal(err)
+	}
+	// The healthy nodes return to the pool; the failed one stays out.
+	if s.FreeTotal() != 7 {
+		t.Fatalf("free = %d after release, want 7", s.FreeTotal())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Repair(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeTotal() != 8 {
+		t.Fatalf("free = %d after repair, want 8", s.FreeTotal())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateUnavailableIsTyped(t *testing.T) {
+	s := New(topology.PaperExample())
+	if _, err := s.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Allocate(1, ComputeIntensive, []int{2, 3})
+	if !errors.Is(err, ErrNodeUnavailable) {
+		t.Fatalf("allocate on failed node: err = %v, want ErrNodeUnavailable", err)
+	}
+	if err := s.Drain(3); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Allocate(1, ComputeIntensive, []int{3})
+	if !errors.Is(err, ErrNodeUnavailable) {
+		t.Fatalf("allocate on drained node: err = %v, want ErrNodeUnavailable", err)
+	}
+	// Busy-node errors stay untyped: they are caller bugs, not races.
+	if err := s.Resume(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Allocate(1, ComputeIntensive, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Allocate(2, ComputeIntensive, []int{3})
+	if err == nil || errors.Is(err, ErrNodeUnavailable) {
+		t.Fatalf("busy-node error should not be ErrNodeUnavailable: %v", err)
+	}
+}
+
+func TestResumeClearsFailed(t *testing.T) {
+	s := New(topology.PaperExample())
+	if _, err := s.Fail(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resume(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeFailed(5) || s.NodeDown(5) {
+		t.Fatal("resume left the failure mark set")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailRepairRangeErrors(t *testing.T) {
+	s := New(topology.PaperExample())
+	if _, err := s.Fail(-1); err == nil {
+		t.Fatal("Fail(-1) accepted")
+	}
+	if _, err := s.Fail(8); err == nil {
+		t.Fatal("Fail(8) accepted")
+	}
+	if err := s.Repair(-1); err == nil {
+		t.Fatal("Repair(-1) accepted")
+	}
+	if err := s.Repair(8); err == nil {
+		t.Fatal("Repair(8) accepted")
+	}
+}
+
+func TestCloneCarriesFailed(t *testing.T) {
+	s := New(topology.PaperExample())
+	if _, err := s.Fail(4); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if !c.NodeFailed(4) || !c.NodeDown(4) {
+		t.Fatal("clone dropped the failure mark")
+	}
+	if err := c.Repair(4); err != nil {
+		t.Fatal(err)
+	}
+	if !s.NodeFailed(4) {
+		t.Fatal("repairing the clone mutated the original")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailRepairChurnInvariants drives random allocate/release/fail/drain/
+// repair sequences and checks counters stay consistent throughout — the
+// failure-injection churn analogue of TestDrainChurnInvariants.
+func TestFailRepairChurnInvariants(t *testing.T) {
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 8, Fanouts: []int{6}})
+	rng := rand.New(rand.NewSource(99))
+	s := New(topo)
+	next := JobID(0)
+	running := []JobID{}
+	for step := 0; step < 3000; step++ {
+		switch rng.Intn(5) {
+		case 0, 1: // allocate a random free set
+			want := 1 + rng.Intn(4)
+			var nodes []int
+			for id := 0; id < topo.NumNodes() && len(nodes) < want; id++ {
+				if s.NodeFree(id) && rng.Intn(2) == 0 {
+					nodes = append(nodes, id)
+				}
+			}
+			if len(nodes) == 0 {
+				continue
+			}
+			class := ComputeIntensive
+			if rng.Intn(2) == 0 {
+				class = CommIntensive
+			}
+			if err := s.Allocate(next, class, nodes); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			running = append(running, next)
+			next++
+		case 2: // release a random job
+			if len(running) == 0 {
+				continue
+			}
+			i := rng.Intn(len(running))
+			if err := s.Release(running[i]); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			running = append(running[:i], running[i+1:]...)
+		case 3: // fail or drain a random node, killing any victim
+			id := rng.Intn(topo.NumNodes())
+			if rng.Intn(2) == 0 {
+				if err := s.Drain(id); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				break
+			}
+			victim, err := s.Fail(id)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if victim >= 0 {
+				if err := s.Release(victim); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				for i, j := range running {
+					if j == victim {
+						running = append(running[:i], running[i+1:]...)
+						break
+					}
+				}
+			}
+		case 4: // repair a random node (victims are always killed, so no
+			// failed node is ever still allocated here)
+			if err := s.Repair(rng.Intn(topo.NumNodes())); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		if step%97 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	for _, j := range running {
+		if err := s.Release(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -422,7 +422,12 @@ func validateCandidate(st *cluster.State, job cluster.JobID, nodes []int) error 
 			return fmt.Errorf("cluster: job %d: node %d busy (held by job %d)", job, id, owner)
 		}
 		if !st.NodeFree(id) {
-			return fmt.Errorf("cluster: job %d: node %d is drained", job, id)
+			word := "drained"
+			if st.NodeFailed(id) {
+				word = "down (failed)"
+			}
+			return fmt.Errorf("cluster: job %d: node %d is %s: %w",
+				job, id, word, cluster.ErrNodeUnavailable)
 		}
 	}
 	return nil

@@ -49,9 +49,9 @@ func TestLeafScheduleRegrouping(t *testing.T) {
 	shared := []collective.Pair{{A: 0, B: 3}, {A: 1, B: 2}, {A: 4, B: 5}}
 	steps := []collective.Step{
 		{Pairs: []collective.Pair{{A: 0, B: 1}, {A: 2, B: 3}}, MsgSize: 1},
-		{Pairs: nil, MsgSize: 4},           // empty: contributes 0, must not disturb the repeat detection
-		{Pairs: shared, MsgSize: 2},        // compute
-		{Pairs: shared, MsgSize: 8},        // repeat: same backing array, different weight
+		{Pairs: nil, MsgSize: 4},                             // empty: contributes 0, must not disturb the repeat detection
+		{Pairs: shared, MsgSize: 2},                          // compute
+		{Pairs: shared, MsgSize: 8},                          // repeat: same backing array, different weight
 		{Pairs: []collective.Pair{{A: 2, B: 2}}, MsgSize: 1}, // self pair only: max stays 0
 		{Pairs: []collective.Pair{{A: 5, B: 0}, {A: 1, B: 1}}, MsgSize: 0.5},
 	}
@@ -149,6 +149,9 @@ func TestCandidateValidationErrorParity(t *testing.T) {
 	if err := st.Drain(15); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := st.Fail(14); err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name  string
 		job   cluster.JobID
@@ -160,6 +163,7 @@ func TestCandidateValidationErrorParity(t *testing.T) {
 		{"node listed twice", 1, []int{2, 3, 2}},
 		{"node busy", 1, []int{2, 0}},
 		{"node drained", 1, []int{2, 15}},
+		{"node failed", 1, []int{2, 14}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -9,6 +9,7 @@
 package daemon
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -65,15 +66,18 @@ func (s jobState) String() string {
 }
 
 type jobRecord struct {
-	job     workload.Job
-	name    string
-	pattern collective.Pattern
-	after   int64 // daemon job ID this one waits for (0 = none)
-	state   jobState
-	submit  float64 // virtual time
-	start   float64
-	end     float64
-	place   sim.Placement
+	job        workload.Job
+	name       string
+	pattern    collective.Pattern
+	after      int64 // daemon job ID this one waits for (0 = none)
+	state      jobState
+	submit     float64 // virtual time
+	start      float64
+	end        float64
+	place      sim.Placement
+	requeues   int     // times a node failure killed and requeued this job
+	requeuedAt float64 // virtual time of the last kill
+	lostSec    float64 // node-seconds-per-node of discarded partial work
 }
 
 // Daemon is the scheduling service. All state is owned by the engine
@@ -208,17 +212,20 @@ func (d *Daemon) complete(r *jobRecord) {
 	_ = d.st.Release(r.job.ID)
 	r.state = stateCompleted
 	d.completed = append(d.completed, metrics.JobResult{
-		ID:        int64(r.job.ID),
-		Nodes:     r.job.Nodes,
-		Comm:      r.job.Class == cluster.CommIntensive,
-		Submit:    r.submit,
-		Start:     r.start,
-		End:       r.end,
-		BaseRun:   r.job.Runtime,
-		Exec:      r.place.Exec,
-		CommCost:  r.place.Cost,
-		RefCost:   r.place.RefCost,
-		CostRatio: r.place.Ratio,
+		ID:          int64(r.job.ID),
+		Nodes:       r.job.Nodes,
+		Comm:        r.job.Class == cluster.CommIntensive,
+		Submit:      r.submit,
+		Start:       r.start,
+		End:         r.end,
+		BaseRun:     r.job.Runtime,
+		Exec:        r.place.Exec,
+		CommCost:    r.place.Cost,
+		RefCost:     r.place.RefCost,
+		CostRatio:   r.place.Ratio,
+		Requeues:    r.requeues,
+		RequeuedAt:  r.requeuedAt,
+		LostSeconds: r.lostSec,
 	})
 }
 
@@ -277,6 +284,14 @@ func (d *Daemon) schedule() {
 			break
 		}
 		if err := d.startJob(r, v); err != nil {
+			if errors.Is(err, cluster.ErrNodeUnavailable) {
+				// A node went down between the capacity check and the
+				// allocation (fail/drain serviced in the same pass). The job
+				// is still valid: it becomes the EASY head and retries once
+				// capacity returns instead of being cancelled.
+				headIdx = i
+				break
+			}
 			// Deterministic selectors only fail on capacity, which we just
 			// checked; treat anything else as a cancellation with a reason.
 			r.state = stateCancelled
@@ -308,6 +323,10 @@ func (d *Daemon) schedule() {
 			continue
 		}
 		if err := d.startJob(r, v); err != nil {
+			if errors.Is(err, cluster.ErrNodeUnavailable) {
+				i++ // retryable: stay queued, retry next pass
+				continue
+			}
 			r.state = stateCancelled
 		}
 		if !finishesBeforeShadow {
@@ -360,14 +379,15 @@ func (d *Daemon) startJob(r *jobRecord, v float64) error {
 // info converts a record to its wire form.
 func (d *Daemon) info(r *jobRecord) JobInfo {
 	ji := JobInfo{
-		ID:      int64(r.job.ID),
-		Name:    r.name,
-		Nodes:   r.job.Nodes,
-		Class:   r.job.Class.String(),
-		State:   r.state.String(),
-		After:   r.after,
-		Submit:  r.submit,
-		BaseRun: r.job.Runtime,
+		ID:       int64(r.job.ID),
+		Name:     r.name,
+		Nodes:    r.job.Nodes,
+		Class:    r.job.Class.String(),
+		State:    r.state.String(),
+		After:    r.after,
+		Submit:   r.submit,
+		BaseRun:  r.job.Runtime,
+		Requeues: r.requeues,
 	}
 	if r.job.Class == cluster.CommIntensive {
 		ji.Pattern = r.pattern.String()
@@ -504,6 +524,63 @@ func (d *Daemon) Cancel(id int64) Response {
 	})
 }
 
+// Fail takes a node (by name) down hard: unlike Drain, a job running on
+// the node does not keep it — the job is killed and requeued, re-entering
+// the pending queue in job-ID order with its requeue counter bumped,
+// mirroring SLURM's node-failure requeue and the simulator's fault
+// semantics. The response carries the killed job's ID when there was one.
+func (d *Daemon) Fail(node string) Response {
+	return d.call(func() Response {
+		id := d.cfg.Topology.NodeID(node)
+		if id < 0 {
+			return Response{Error: fmt.Sprintf("unknown node %q", node)}
+		}
+		d.advance()
+		victim, err := d.st.Fail(id)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		resp := Response{Ok: true}
+		if victim >= 0 {
+			d.requeueJob(int64(victim))
+			resp.ID = int64(victim)
+		}
+		d.schedule()
+		d.rearm()
+		return resp
+	})
+}
+
+// requeueJob kills a running job (its failed node is already marked down
+// by the caller) and returns it to the pending queue, inserted in job-ID
+// order among the queued jobs so the requeued job re-runs ahead of later
+// submissions. Engine goroutine only.
+func (d *Daemon) requeueJob(id int64) {
+	r, ok := d.running[id]
+	if !ok {
+		return
+	}
+	delete(d.running, id)
+	_ = d.st.Release(r.job.ID)
+	now := d.now()
+	r.state = stateQueued
+	r.requeues++
+	r.requeuedAt = now
+	r.lostSec += now - r.start
+	r.start, r.end = 0, 0
+	r.place = sim.Placement{}
+	pos := len(d.queue)
+	for i, q := range d.queue {
+		if int64(q.job.ID) > id {
+			pos = i
+			break
+		}
+	}
+	d.queue = append(d.queue, nil)
+	copy(d.queue[pos+1:], d.queue[pos:])
+	d.queue[pos] = r
+}
+
 // Drain marks a node (by name) ineligible for new allocations; a running
 // job keeps it until completion.
 func (d *Daemon) Drain(node string) Response {
@@ -575,6 +652,7 @@ func (d *Daemon) Info() Response {
 			MachineNodes: d.cfg.Topology.NumNodes(),
 			FreeNodes:    d.st.FreeTotal(),
 			DownNodes:    d.st.DownTotal(),
+			FailedNodes:  d.st.FailedTotal(),
 			Algorithm:    d.cfg.Algorithm.String(),
 			VirtualNow:   d.now(),
 		}
@@ -604,6 +682,8 @@ func (d *Daemon) Stats() Response {
 			TotalExecHours: s.TotalExecHours,
 			TotalWaitHours: s.TotalWaitHours,
 			AvgCommCost:    s.AvgCommCost,
+			Requeues:       s.Requeues,
+			LostNodeHours:  s.LostNodeHours,
 		}
 	})
 }

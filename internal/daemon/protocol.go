@@ -14,7 +14,7 @@ const ClassComm = cluster.CommIntensive
 // Request is a client request. Op selects the operation; the other fields
 // are op-specific.
 type Request struct {
-	Op string `json:"op"` // submit, status, queue, running, info, stats, cancel, drain, resume, shutdown
+	Op string `json:"op"` // submit, status, queue, running, info, stats, cancel, drain, resume, fail, shutdown
 
 	// submit fields
 	Nodes     int     `json:"nodes,omitempty"`
@@ -31,7 +31,7 @@ type Request struct {
 	// status / cancel field
 	ID int64 `json:"id,omitempty"`
 
-	// drain / resume field: node name (e.g. "n17")
+	// drain / resume / fail field: node name (e.g. "n17")
 	Node string `json:"node,omitempty"`
 }
 
@@ -52,6 +52,7 @@ type JobInfo struct {
 	CostRatio float64 `json:"ratio,omitempty"`
 	CommCost  float64 `json:"cost,omitempty"`
 	NodeList  string  `json:"nodelist,omitempty"` // compressed hostlist
+	Requeues  int     `json:"requeues,omitempty"` // node-failure kills survived
 }
 
 // LeafInfo describes one leaf switch in info responses.
@@ -78,6 +79,7 @@ type Response struct {
 	MachineNodes int     `json:"machine_nodes,omitempty"`
 	FreeNodes    int     `json:"free_nodes,omitempty"`
 	DownNodes    int     `json:"down_nodes,omitempty"`
+	FailedNodes  int     `json:"failed_nodes,omitempty"`
 	Algorithm    string  `json:"algorithm,omitempty"`
 	VirtualNow   float64 `json:"virtual_now,omitempty"`
 
@@ -86,4 +88,6 @@ type Response struct {
 	TotalExecHours float64 `json:"total_exec_hours,omitempty"`
 	TotalWaitHours float64 `json:"total_wait_hours,omitempty"`
 	AvgCommCost    float64 `json:"avg_comm_cost,omitempty"`
+	Requeues       int     `json:"requeues,omitempty"`
+	LostNodeHours  float64 `json:"lost_node_hours,omitempty"`
 }

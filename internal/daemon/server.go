@@ -146,6 +146,8 @@ func (s *Server) dispatch(req Request) Response {
 		return s.d.Drain(req.Node)
 	case "resume":
 		return s.d.Resume(req.Node)
+	case "fail":
+		return s.d.Fail(req.Node)
 	case "shutdown":
 		return Response{Ok: true}
 	default:
@@ -252,6 +254,13 @@ func (c *Client) Drain(node string) error {
 func (c *Client) Resume(node string) error {
 	_, err := c.Do(Request{Op: "resume", Node: node})
 	return err
+}
+
+// Fail takes a node down hard; a job running on it is killed and
+// requeued. Returns the killed job's ID (0 when the node was free).
+func (c *Client) Fail(node string) (int64, error) {
+	resp, err := c.Do(Request{Op: "fail", Node: node})
+	return resp.ID, err
 }
 
 // Shutdown asks the daemon to stop.

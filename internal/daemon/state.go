@@ -39,16 +39,20 @@ type persistedJob struct {
 	Cost      float64 `json:"cost,omitempty"`
 	RefCost   float64 `json:"ref_cost,omitempty"`
 	Ratio     float64 `json:"ratio,omitempty"`
+	Requeues  int     `json:"requeues,omitempty"`
 }
 
 type persistedState struct {
-	Version    int                 `json:"version"`
-	VirtualNow float64             `json:"virtual_now"`
-	NextID     int64               `json:"next_id"`
-	DownNodes  []string            `json:"down_nodes,omitempty"`
-	Queued     []persistedJob      `json:"queued,omitempty"`
-	Running    []persistedJob      `json:"running,omitempty"`
-	Completed  []metrics.JobResult `json:"completed,omitempty"`
+	Version    int      `json:"version"`
+	VirtualNow float64  `json:"virtual_now"`
+	NextID     int64    `json:"next_id"`
+	DownNodes  []string `json:"down_nodes,omitempty"`
+	// FailedNodes is the hard-failed subset of DownNodes; restore re-marks
+	// them failed after re-draining so the distinction survives a restart.
+	FailedNodes []string            `json:"failed_nodes,omitempty"`
+	Queued      []persistedJob      `json:"queued,omitempty"`
+	Running     []persistedJob      `json:"running,omitempty"`
+	Completed   []metrics.JobResult `json:"completed,omitempty"`
 }
 
 func (d *Daemon) persistJob(r *jobRecord) persistedJob {
@@ -75,6 +79,7 @@ func (d *Daemon) persistJob(r *jobRecord) persistedJob {
 		pj.RefCost = r.place.RefCost
 		pj.Ratio = r.place.Ratio
 	}
+	pj.Requeues = r.requeues
 	return pj
 }
 
@@ -93,6 +98,9 @@ func (d *Daemon) SaveState(w io.Writer) error {
 		for id := 0; id < d.cfg.Topology.NumNodes(); id++ {
 			if d.st.NodeDown(id) {
 				ps.DownNodes = append(ps.DownNodes, d.cfg.Topology.NodeName(id))
+			}
+			if d.st.NodeFailed(id) {
+				ps.FailedNodes = append(ps.FailedNodes, d.cfg.Topology.NodeName(id))
 			}
 		}
 		for _, r := range d.queue {
@@ -178,12 +186,13 @@ func (pj persistedJob) toRecord() (*jobRecord, error) {
 			Class:   class,
 			Mix:     mix,
 		},
-		name:    pj.Name,
-		pattern: pattern,
-		after:   pj.After,
-		submit:  pj.Submit,
-		start:   pj.Start,
-		end:     pj.End,
+		name:     pj.Name,
+		pattern:  pattern,
+		after:    pj.After,
+		submit:   pj.Submit,
+		start:    pj.Start,
+		end:      pj.End,
+		requeues: pj.Requeues,
 	}, nil
 }
 
@@ -207,15 +216,10 @@ func Restore(cfg Config, r io.Reader) (*Daemon, error) {
 		d.wallBase = time.Now().Add(-time.Duration(ps.VirtualNow / d.cfg.TimeScale * float64(time.Second)))
 		d.nextID = ps.NextID
 		d.completed = append([]metrics.JobResult(nil), ps.Completed...)
-		for _, name := range ps.DownNodes {
-			id := d.cfg.Topology.NodeID(name)
-			if id < 0 {
-				return Response{Error: fmt.Sprintf("unknown node %q in snapshot", name)}
-			}
-			if err := d.st.Drain(id); err != nil {
-				return Response{Error: err.Error()}
-			}
-		}
+		// Running allocations go first: a node drained while busy is down in
+		// the snapshot but still carries its job, and Allocate rejects down
+		// nodes — so the drains (and then the failure marks) are reapplied
+		// only after every running job holds its nodes again.
 		for _, pj := range ps.Running {
 			rec, err := pj.toRecord()
 			if err != nil {
@@ -232,6 +236,30 @@ func Restore(cfg Config, r io.Reader) (*Daemon, error) {
 			}
 			d.jobs[pj.ID] = rec
 			d.running[pj.ID] = rec
+		}
+		for _, name := range ps.DownNodes {
+			id := d.cfg.Topology.NodeID(name)
+			if id < 0 {
+				return Response{Error: fmt.Sprintf("unknown node %q in snapshot", name)}
+			}
+			if err := d.st.Drain(id); err != nil {
+				return Response{Error: err.Error()}
+			}
+		}
+		for _, name := range ps.FailedNodes {
+			id := d.cfg.Topology.NodeID(name)
+			if id < 0 {
+				return Response{Error: fmt.Sprintf("unknown node %q in snapshot", name)}
+			}
+			victim, err := d.st.Fail(id)
+			if err != nil {
+				return Response{Error: err.Error()}
+			}
+			if victim >= 0 {
+				// A consistent snapshot never runs a job on a failed node.
+				return Response{Error: fmt.Sprintf(
+					"snapshot runs job %d on failed node %q", victim, name)}
+			}
 		}
 		for _, pj := range ps.Queued {
 			rec, err := pj.toRecord()

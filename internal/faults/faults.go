@@ -1,0 +1,159 @@
+// Package faults is the deterministic failure injector: it produces node
+// down/drain/repair event traces that the simulator, the verification
+// harness and the daemon replay against a cluster. Traces are either fixed
+// (hand-written or persisted) or generated from an MTBF/MTTR exponential
+// model driven by a seeded PRNG — never the global rand source, so a trace
+// is a pure function of its parameters and every consumer stays
+// reproducible (cawslint's determinism analyzer enforces this for the
+// whole package).
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind is the kind of a fault event.
+type Kind uint8
+
+const (
+	// Fail takes a node down hard: a job running on it is killed and
+	// requeued, and the node stays out of service until a Repair.
+	Fail Kind = iota
+	// Drain removes a node from service gracefully: running work finishes,
+	// but no new allocations land on it until a Repair.
+	Drain
+	// Repair returns a failed or drained node to service.
+	Repair
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Fail:
+		return "fail"
+	case Drain:
+		return "drain"
+	case Repair:
+		return "repair"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one node state transition at an absolute simulation time.
+type Event struct {
+	Time float64
+	Kind Kind
+	Node int
+}
+
+// Trace is a time-ordered fault event sequence. A nil or empty trace is
+// the zero-failure injector: consumers must behave bit-identically to a
+// build without fault support at all.
+type Trace []Event
+
+// Validate checks the trace is replayable against a machine with numNodes
+// nodes: times are finite, non-negative and non-decreasing, node IDs are
+// in range and kinds are known.
+func (t Trace) Validate(numNodes int) error {
+	prev := math.Inf(-1)
+	for i, ev := range t {
+		if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) || ev.Time < 0 {
+			return fmt.Errorf("faults: event %d: bad time %v", i, ev.Time)
+		}
+		if ev.Time < prev {
+			return fmt.Errorf("faults: event %d: time %v before predecessor %v",
+				i, ev.Time, prev)
+		}
+		prev = ev.Time
+		if ev.Node < 0 || ev.Node >= numNodes {
+			return fmt.Errorf("faults: event %d: node %d out of range [0,%d)",
+				i, ev.Node, numNodes)
+		}
+		switch ev.Kind {
+		case Fail, Drain, Repair:
+		default:
+			return fmt.Errorf("faults: event %d: unknown kind %d", i, uint8(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// sortTrace orders events by (Time, Node, Kind) — a total order, so a
+// generated trace is independent of production order.
+func sortTrace(t Trace) {
+	sort.Slice(t, func(i, j int) bool {
+		if t[i].Time != t[j].Time {
+			return t[i].Time < t[j].Time
+		}
+		if t[i].Node != t[j].Node {
+			return t[i].Node < t[j].Node
+		}
+		return t[i].Kind < t[j].Kind
+	})
+}
+
+// Model generates fault traces from per-node alternating renewal processes:
+// a node runs for an Exp(1/MTBF) up-time, leaves service for an Exp(1/MTTR)
+// repair time, and repeats. All draws come from one rand.Rand seeded with
+// Seed, so the same model parameters always produce the same trace.
+type Model struct {
+	// MTBF is the mean time between failures per node, in simulation
+	// seconds. Zero or negative disables generation (zero-failure model).
+	MTBF float64
+	// MTTR is the mean time to repair, in simulation seconds. Zero or
+	// negative means instant-repair is replaced by a minimal positive
+	// repair delay of 1 second, so a Fail and its Repair never collapse
+	// onto the same instant.
+	MTTR float64
+	// DrainFraction in [0,1] is the probability a generated outage is a
+	// graceful Drain instead of a hard Fail.
+	DrainFraction float64
+	// Seed seeds the private PRNG.
+	Seed int64
+}
+
+// Generate produces the model's fault trace over [0, horizon) for a
+// machine with numNodes nodes. Every outage is paired with a Repair event
+// (possibly past the horizon), so injected capacity loss is always
+// transient and a trace never strands nodes forever. A zero-failure model
+// returns nil.
+func (m Model) Generate(numNodes int, horizon float64) Trace {
+	if m.MTBF <= 0 || numNodes <= 0 || horizon <= 0 {
+		return nil
+	}
+	mttr := m.MTTR
+	if mttr <= 0 {
+		mttr = 1
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	var t Trace
+	// Per-node alternating up/down renewal process. Node order is fixed,
+	// so the draw sequence — and therefore the trace — is deterministic.
+	for node := 0; node < numNodes; node++ {
+		now := 0.0
+		for {
+			up := rng.ExpFloat64() * m.MTBF
+			now += up
+			if now >= horizon {
+				break
+			}
+			kind := Fail
+			if m.DrainFraction > 0 && rng.Float64() < m.DrainFraction {
+				kind = Drain
+			}
+			down := rng.ExpFloat64() * mttr
+			if down <= 0 {
+				down = 1
+			}
+			t = append(t, Event{Time: now, Kind: kind, Node: node})
+			t = append(t, Event{Time: now + down, Kind: Repair, Node: node})
+			now += down
+		}
+	}
+	sortTrace(t)
+	return t
+}

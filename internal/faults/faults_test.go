@@ -1,0 +1,119 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Fail: "fail", Drain: "drain", Repair: "repair", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Trace{
+		{Time: 0, Kind: Fail, Node: 0},
+		{Time: 1, Kind: Repair, Node: 0},
+		{Time: 1, Kind: Drain, Node: 3},
+	}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if err := Trace(nil).Validate(0); err != nil {
+		t.Fatalf("nil trace rejected: %v", err)
+	}
+	bad := []Trace{
+		{{Time: -1, Kind: Fail, Node: 0}},
+		{{Time: math.NaN(), Kind: Fail, Node: 0}},
+		{{Time: math.Inf(1), Kind: Fail, Node: 0}},
+		{{Time: 2, Kind: Fail, Node: 0}, {Time: 1, Kind: Repair, Node: 0}},
+		{{Time: 0, Kind: Fail, Node: 4}},
+		{{Time: 0, Kind: Fail, Node: -1}},
+		{{Time: 0, Kind: Kind(7), Node: 0}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(4); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := Model{MTBF: 500, MTTR: 60, DrainFraction: 0.25, Seed: 42}
+	a := m.Generate(64, 10_000)
+	b := m.Generate(64, 10_000)
+	if len(a) == 0 {
+		t.Fatal("model generated no events over a long horizon")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same model parameters produced different traces")
+	}
+	if err := a.Validate(64); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a := Model{MTBF: 500, MTTR: 60, Seed: 1}.Generate(64, 10_000)
+	b := Model{MTBF: 500, MTTR: 60, Seed: 2}.Generate(64, 10_000)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateZeroFailure(t *testing.T) {
+	if tr := (Model{MTBF: 0, MTTR: 60, Seed: 1}).Generate(64, 10_000); tr != nil {
+		t.Fatalf("zero-MTBF model produced %d events", len(tr))
+	}
+	if tr := (Model{MTBF: 500}).Generate(0, 10_000); tr != nil {
+		t.Fatal("zero-node machine produced events")
+	}
+	if tr := (Model{MTBF: 500}).Generate(64, 0); tr != nil {
+		t.Fatal("zero horizon produced events")
+	}
+}
+
+func TestGeneratePairsOutagesWithRepairs(t *testing.T) {
+	tr := Model{MTBF: 300, MTTR: 120, DrainFraction: 0.5, Seed: 7}.Generate(32, 5_000)
+	perNode := map[int]int{}
+	for _, ev := range tr {
+		switch ev.Kind {
+		case Fail, Drain:
+			perNode[ev.Node]++
+		case Repair:
+			perNode[ev.Node]--
+		}
+	}
+	for node, depth := range perNode {
+		if depth != 0 {
+			t.Errorf("node %d: %d outages without a matching repair", node, depth)
+		}
+	}
+	kinds := map[Kind]int{}
+	for _, ev := range tr {
+		kinds[ev.Kind]++
+	}
+	if kinds[Fail] == 0 || kinds[Drain] == 0 {
+		t.Errorf("DrainFraction=0.5 trace should mix kinds, got %v", kinds)
+	}
+}
+
+func TestGenerateSortedAndInHorizonOutages(t *testing.T) {
+	tr := Model{MTBF: 200, MTTR: 50, Seed: 3}.Generate(16, 2_000)
+	for i := 1; i < len(tr); i++ {
+		a, b := tr[i-1], tr[i]
+		if a.Time > b.Time {
+			t.Fatalf("trace unsorted at %d: %v after %v", i, b.Time, a.Time)
+		}
+	}
+	for _, ev := range tr {
+		if ev.Kind != Repair && ev.Time >= 2_000 {
+			t.Errorf("outage at %v past horizon 2000", ev.Time)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeFaultAggregates(t *testing.T) {
+	results := []JobResult{
+		{ID: 1, Nodes: 4, Submit: 0, Start: 100, End: 200, Exec: 100,
+			Requeues: 2, RequeuedAt: 90, LostSeconds: 45},
+		{ID: 2, Nodes: 2, Submit: 0, Start: 0, End: 50, Exec: 50},
+	}
+	s := Summarize(results)
+	if s.Requeues != 2 {
+		t.Fatalf("Requeues = %d, want 2", s.Requeues)
+	}
+	want := 4 * 45.0 / 3600
+	if math.Abs(s.LostNodeHours-want) > 1e-12 {
+		t.Fatalf("LostNodeHours = %v, want %v", s.LostNodeHours, want)
+	}
+}
+
+func TestSummarizeNoFaultsZero(t *testing.T) {
+	s := Summarize([]JobResult{{ID: 1, Nodes: 1, Exec: 10, End: 10}})
+	if s.Requeues != 0 || s.LostNodeHours != 0 {
+		t.Fatalf("fault-free run reported Requeues=%d LostNodeHours=%v",
+			s.Requeues, s.LostNodeHours)
+	}
+}
+
+func TestTurnaroundDegradationPct(t *testing.T) {
+	base := Summary{AvgTurnaroundHours: 10}
+	fault := Summary{AvgTurnaroundHours: 12}
+	if got := TurnaroundDegradationPct(base, fault); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("degradation = %v, want 20", got)
+	}
+	if got := TurnaroundDegradationPct(base, base); got != 0 {
+		t.Fatalf("self-degradation = %v, want 0", got)
+	}
+	if got := TurnaroundDegradationPct(Summary{}, fault); got != 0 {
+		t.Fatalf("zero-base degradation = %v, want 0", got)
+	}
+	better := Summary{AvgTurnaroundHours: 8}
+	if got := TurnaroundDegradationPct(base, better); math.Abs(got+20) > 1e-12 {
+		t.Fatalf("improvement should be negative, got %v", got)
+	}
+}

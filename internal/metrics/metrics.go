@@ -25,6 +25,15 @@ type JobResult struct {
 	CommCost  float64 // Eq. 6 under the run's allocation
 	RefCost   float64 // Eq. 6 under the hypothetical default allocation
 	CostRatio float64 // Exec scaling ratio applied
+
+	// Fault bookkeeping: node failures kill a running job and resubmit it
+	// at the failure time. Requeues counts the kills, RequeuedAt is the
+	// last kill time (0 if never killed), and LostSeconds is the discarded
+	// partial work (per requeue, kill time minus that attempt's start).
+	// Start/End/Exec always describe the final, successful attempt.
+	Requeues    int
+	RequeuedAt  float64
+	LostSeconds float64
 }
 
 // Wait returns the queueing delay.
@@ -54,6 +63,11 @@ type Summary struct {
 	CommJobs            int
 	AvgCommWaitHours    float64
 	AvgComputeWaitHours float64
+
+	// Fault aggregates: total job kills across the run, and the node-hours
+	// of partial work those kills discarded (Σ nodes × lost seconds).
+	Requeues      int
+	LostNodeHours float64
 }
 
 const secondsPerHour = 3600
@@ -81,6 +95,8 @@ func Summarize(results []JobResult) Summary {
 		if r.End > makespan {
 			makespan = r.End
 		}
+		s.Requeues += r.Requeues
+		s.LostNodeHours += float64(r.Nodes) * r.LostSeconds / secondsPerHour
 	}
 	s.AvgWaitHours = s.TotalWaitHours / float64(len(results))
 	s.AvgTurnaroundHours = turnaround / float64(len(results))
@@ -94,6 +110,19 @@ func Summarize(results []JobResult) Summary {
 	}
 	s.MakespanHours = makespan / secondsPerHour
 	return s
+}
+
+// TurnaroundDegradationPct reports how much average turnaround degraded
+// under faults relative to a fault-free baseline of the same policy
+// (positive = faults made turnaround worse). It is the per-policy
+// degradation metric the fault experiments compare across scheduling
+// policies.
+func TurnaroundDegradationPct(base, fault Summary) float64 {
+	if base.AvgTurnaroundHours == 0 {
+		return 0
+	}
+	return (fault.AvgTurnaroundHours - base.AvgTurnaroundHours) /
+		base.AvgTurnaroundHours * 100
 }
 
 // ImprovementPct returns the percentage improvement of value over base

@@ -12,11 +12,13 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -41,6 +43,12 @@ type Config struct {
 	RankRemap bool
 	// Policy orders the waiting queue (default FIFO, the paper's setup).
 	Policy Policy
+	// Faults is the node failure/drain/repair event trace injected into the
+	// run. A hard failure kills the job running on the node and requeues it
+	// at the failure time (SLURM's requeue-on-node-fail); drains let running
+	// work finish. A nil trace reproduces the fault-free simulator
+	// bit-identically.
+	Faults faults.Trace
 }
 
 // Result is the outcome of a continuous run.
@@ -60,13 +68,21 @@ type eventKind uint8
 const (
 	evArrive eventKind = iota
 	evComplete
+	evFail   // node goes down hard; its job is killed and requeued
+	evDrain  // node leaves service gracefully; running work finishes
+	evRepair // node returns to service
 )
 
 type event struct {
 	time float64
 	seq  int64 // tiebreaker for determinism
 	kind eventKind
-	job  int // index into the trace
+	job  int // index into the trace (evArrive/evComplete)
+	node int // node ID (evFail/evDrain/evRepair)
+	// inc is the job incarnation an evComplete was scheduled for: a kill
+	// bumps the job's incarnation, so the completion of a killed attempt
+	// arrives stale and is ignored.
+	inc int
 }
 
 type eventQueue []event
@@ -94,6 +110,7 @@ func (q *eventQueue) Pop() any {
 type runningJob struct {
 	job    int
 	nodes  int
+	start  float64
 	end    float64
 	estEnd float64
 }
@@ -112,6 +129,15 @@ type engine struct {
 
 	results []metrics.JobResult
 	started []bool
+
+	// Fault bookkeeping. inc is the per-job incarnation counter bumped on
+	// every kill (stale completion events are detected against it); the
+	// other slices accumulate requeue statistics merged into the job's
+	// result at its final start.
+	inc        []int
+	requeues   []int
+	requeuedAt []float64
+	lostSec    []float64
 
 	// resScratch is reused across reservation() calls so the EASY shadow
 	// computation allocates nothing per scheduling pass.
@@ -138,6 +164,9 @@ func RunContinuous(cfg Config, trace workload.Trace) (*Result, error) {
 		return nil, fmt.Errorf("sim: trace needs %d nodes, topology has %d",
 			trace.MachineNodes, cfg.Topology.NumNodes())
 	}
+	if err := cfg.Faults.Validate(cfg.Topology.NumNodes()); err != nil {
+		return nil, err
+	}
 	sel, err := core.New(cfg.Algorithm)
 	if err != nil {
 		return nil, err
@@ -158,11 +187,28 @@ func RunContinuous(cfg Config, trace workload.Trace) (*Result, error) {
 		idToIdx:     make(map[cluster.JobID]int, len(trace.Jobs)),
 		held:        make(map[cluster.JobID][]int),
 		completedAt: make([]float64, len(trace.Jobs)),
+		inc:         make([]int, len(trace.Jobs)),
+		requeues:    make([]int, len(trace.Jobs)),
+		requeuedAt:  make([]float64, len(trace.Jobs)),
+		lostSec:     make([]float64, len(trace.Jobs)),
 	}
 	for i, j := range trace.Jobs {
 		e.idToIdx[j.ID] = i
 		e.completedAt[i] = -1
 		e.push(event{time: j.Submit, kind: evArrive, job: i})
+	}
+	for _, fe := range cfg.Faults {
+		kind := evFail
+		switch fe.Kind {
+		case faults.Fail:
+		case faults.Drain:
+			kind = evDrain
+		case faults.Repair:
+			kind = evRepair
+		default:
+			return nil, fmt.Errorf("sim: unknown fault kind %d", uint8(fe.Kind))
+		}
+		e.push(event{time: fe.Time, kind: kind, node: fe.Node})
 	}
 	if err := e.loop(); err != nil {
 		return nil, err
@@ -194,7 +240,8 @@ func (e *engine) push(ev event) {
 func (e *engine) loop() error {
 	heap.Init(&e.events)
 	guard := 0
-	limit := 10 * len(e.trace.Jobs) * (len(e.trace.Jobs) + 2)
+	n := len(e.trace.Jobs) + len(e.cfg.Faults)
+	limit := 10 * n * (n + 2)
 	for e.events.Len() > 0 {
 		guard++
 		if guard > limit && limit > 0 {
@@ -221,6 +268,11 @@ func (e *engine) loop() error {
 			}
 			e.queue = append(e.queue, ev.job)
 		case evComplete:
+			if ev.inc != e.inc[ev.job] {
+				// Completion of a killed attempt: the job was requeued (and
+				// possibly restarted) after this event was scheduled.
+				continue
+			}
 			if _, ok := e.running[ev.job]; !ok {
 				return fmt.Errorf("sim: completion for job index %d not running", ev.job)
 			}
@@ -235,6 +287,24 @@ func (e *engine) loop() error {
 					kind: evArrive, job: waiter})
 			}
 			delete(e.held, id)
+		case evFail:
+			victim, err := e.st.Fail(ev.node)
+			if err != nil {
+				return err
+			}
+			if victim >= 0 {
+				if err := e.requeue(e.idToIdx[victim], now); err != nil {
+					return err
+				}
+			}
+		case evDrain:
+			if err := e.st.Drain(ev.node); err != nil {
+				return err
+			}
+		case evRepair:
+			if err := e.st.Repair(ev.node); err != nil {
+				return err
+			}
 		}
 		if err := e.schedule(now); err != nil {
 			return err
@@ -244,6 +314,30 @@ func (e *engine) loop() error {
 		return fmt.Errorf("sim: %d queued, %d running and %d held jobs at end of events",
 			len(e.queue), len(e.running), len(e.held))
 	}
+	return nil
+}
+
+// requeue kills the running job at index idx and resubmits it at the
+// failure time: the allocation is released (the failed node itself stays
+// out of service), partial work is discarded, and a fresh arrival event at
+// now puts the job back in the queue under the run's policy.
+func (e *engine) requeue(idx int, now float64) error {
+	r, ok := e.running[idx]
+	if !ok {
+		return fmt.Errorf("sim: requeue for job index %d not running", idx)
+	}
+	delete(e.running, idx)
+	if err := e.st.Release(e.trace.Jobs[idx].ID); err != nil {
+		return err
+	}
+	// Invalidate the killed attempt's completion event and let the job be
+	// started again.
+	e.inc[idx]++
+	e.started[idx] = false
+	e.requeues[idx]++
+	e.requeuedAt[idx] = now
+	e.lostSec[idx] += now - r.start
+	e.push(event{time: now, kind: evArrive, job: idx})
 	return nil
 }
 
@@ -270,7 +364,15 @@ func (e *engine) schedule(now float64) error {
 	head := e.trace.Jobs[e.queue[0]]
 	shadow, extra, ok := e.reservation(now, head.Nodes)
 	if !ok {
-		return fmt.Errorf("sim: job %d (%d nodes) can never run", head.ID, head.Nodes)
+		if len(e.cfg.Faults) == 0 {
+			return fmt.Errorf("sim: job %d (%d nodes) can never run", head.ID, head.Nodes)
+		}
+		// Under faults the head can be transiently unsatisfiable: enough
+		// nodes are down that even draining every running job would not
+		// free head.Nodes. A future repair restores capacity, so instead of
+		// failing the run the head holds an unreachable reservation and
+		// backfill may only use jobs that fit the current free set.
+		shadow, extra = math.Inf(1), e.st.FreeTotal()
 	}
 	// Jobs that stay queued are compacted in place with a write index
 	// instead of splicing each started job out, turning the pass from
@@ -345,24 +447,29 @@ func (e *engine) start(idx int, now float64) error {
 		return err
 	}
 	e.results[idx] = metrics.JobResult{
-		ID:        int64(j.ID),
-		Nodes:     j.Nodes,
-		Comm:      j.Class == cluster.CommIntensive,
-		Submit:    j.Submit,
-		Start:     now,
-		End:       now + pl.Exec,
-		BaseRun:   j.Runtime,
-		Exec:      pl.Exec,
-		CommCost:  pl.Cost,
-		RefCost:   pl.RefCost,
-		CostRatio: pl.Ratio,
+		ID:          int64(j.ID),
+		Nodes:       j.Nodes,
+		Comm:        j.Class == cluster.CommIntensive,
+		Submit:      j.Submit,
+		Start:       now,
+		End:         now + pl.Exec,
+		BaseRun:     j.Runtime,
+		Exec:        pl.Exec,
+		CommCost:    pl.Cost,
+		RefCost:     pl.RefCost,
+		CostRatio:   pl.Ratio,
+		Requeues:    e.requeues[idx],
+		RequeuedAt:  e.requeuedAt[idx],
+		LostSeconds: e.lostSec[idx],
 	}
 	estEnd := now + pl.Exec
 	if est := j.EstimatedRuntime(); now+est > estEnd {
 		estEnd = now + est
 	}
 	e.started[idx] = true
-	e.running[idx] = runningJob{job: idx, nodes: j.Nodes, end: now + pl.Exec, estEnd: estEnd}
-	e.push(event{time: now + pl.Exec, kind: evComplete, job: idx})
+	e.running[idx] = runningJob{
+		job: idx, nodes: j.Nodes, start: now, end: now + pl.Exec, estEnd: estEnd,
+	}
+	e.push(event{time: now + pl.Exec, kind: evComplete, job: idx, inc: e.inc[idx]})
 	return nil
 }

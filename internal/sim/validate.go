@@ -70,6 +70,9 @@ func ValidateResult(res *Result, trace workload.Trace) error {
 		if err := validateRuntimeModel(r, j); err != nil {
 			return err
 		}
+		if err := validateFaultBookkeeping(r); err != nil {
+			return err
+		}
 	}
 	// Dependencies: start after the dependency's end plus think time.
 	for i, j := range trace.Jobs {
@@ -203,10 +206,16 @@ type auditor struct {
 	res   *Result
 	trace workload.Trace
 	cfg   Config
-	// elig[i] is the time job i entered the waiting queue:
-	// max(Submit, dependency End + ThinkTime).
-	elig    []float64
-	hasDeps bool
+	// elig[i] is the time job i (finally) entered the waiting queue:
+	// max(Submit, dependency End + ThinkTime, last requeue time). From that
+	// instant until its recorded Start the job is continuously waiting.
+	elig        []float64
+	hasDeps     bool
+	hasRequeues bool
+	// maxRequeue is the last job-kill instant in the run: at or before it,
+	// killed partial attempts (absent from the result) may occupy nodes, so
+	// those instants are not reconstructable.
+	maxRequeue float64
 }
 
 func newAuditor(res *Result, trace workload.Trace, cfg Config) *auditor {
@@ -225,6 +234,15 @@ func newAuditor(res *Result, trace workload.Trace, cfg Config) *auditor {
 				}
 			}
 		}
+		if r := res.Jobs[i]; r.Requeues > 0 {
+			a.hasRequeues = true
+			if r.RequeuedAt > a.elig[i] {
+				a.elig[i] = r.RequeuedAt
+			}
+			if r.RequeuedAt > a.maxRequeue {
+				a.maxRequeue = r.RequeuedAt
+			}
+		}
 	}
 	return a
 }
@@ -239,7 +257,10 @@ func (a *auditor) policyBefore(i, k int) (before, known bool) {
 	if a.cfg.Policy != FIFO {
 		return a.cfg.Policy.less(a.trace.Jobs, i, k), true
 	}
-	if !a.hasDeps {
+	// FIFO queues in arrival order: index order holds only when nothing
+	// re-enters the queue later (no dependencies, no requeues); otherwise
+	// eligibility order decides, with ties ambiguous.
+	if !a.hasDeps && !a.hasRequeues {
 		return i < k, true
 	}
 	if !sameTime(a.elig[i], a.elig[k]) {
@@ -300,12 +321,40 @@ func (a *auditor) checkBackfillLegality() error {
 		instants = append(instants, t)
 	}
 	sort.Float64s(instants)
+	// Fault replay scratch: per-node failed/drained marks, sized to cover
+	// every node the trace touches.
+	var failedScratch, drainedScratch []bool
+	if n := maxNodeID(a.cfg.Faults); n > 0 {
+		failedScratch = make([]bool, n)
+		drainedScratch = make([]bool, n)
+	}
 	for _, t := range instants {
 		started := starts[t]
-		// Triggering events at t: completions, and arrivals (jobs becoming
-		// eligible). More than one means multiple passes at t with unknowable
-		// interleaving — skip. Exactly one pending arrival is fine only when
-		// it is the pass trigger, i.e. there is no completion besides it.
+		downAt := 0
+		faultTriggers := 0
+		if len(a.cfg.Faults) > 0 {
+			// Killed partial attempts are invisible to this reconstruction:
+			// until the run's last kill instant the running set (and thus
+			// the free count and the shadow time) cannot be recovered from
+			// final results alone, so those instants are skipped.
+			if a.hasRequeues && t <= a.maxRequeue {
+				continue
+			}
+			fv := faultViewAt(a.cfg.Faults, t, failedScratch, drainedScratch)
+			// A drained node's capacity effect depends on whether a job
+			// occupied it at drain time — node-level placement the result
+			// does not record. Skip instants with any drain in effect.
+			if fv.drainActive {
+				continue
+			}
+			downAt = fv.failedDown
+			faultTriggers = fv.eventsAt
+		}
+		// Triggering events at t: completions, arrivals (jobs becoming
+		// eligible) and fault events. More than one means multiple passes
+		// at t with unknowable interleaving — skip. Exactly one pending
+		// arrival is fine only when it is the pass trigger, i.e. there is
+		// no completion or fault event besides it.
 		ends, arrivals := 0, 0
 		pendingArrival := -1
 		for i := range a.res.Jobs {
@@ -319,7 +368,7 @@ func (a *auditor) checkBackfillLegality() error {
 				}
 			}
 		}
-		if ends+arrivals > 1 {
+		if ends+arrivals+faultTriggers > 1 {
 			continue
 		}
 		// Waiting queue at t: eligible strictly before t and not yet
@@ -363,7 +412,7 @@ func (a *auditor) checkBackfillLegality() error {
 		if !sortPolicy(a, backfills) {
 			continue // relative order of two backfills undecidable
 		}
-		shadow, extra, ok := a.reservationAt(t, started, prefix, a.trace.Jobs[head].Nodes)
+		shadow, extra, ok := a.reservationAt(t, started, prefix, a.trace.Jobs[head].Nodes, downAt)
 		if !ok {
 			continue
 		}
@@ -427,13 +476,15 @@ func sortPolicy(a *auditor, idx []int) bool {
 // engine saw in the pass at time t: jobs running strictly across t plus
 // the pass's head-loop prefix (already allocated when the reservation was
 // computed), for a head job needing `need` nodes. started lists every job
-// beginning at t (all excluded from the strictly-running set).
-func (a *auditor) reservationAt(t float64, started, prefix []int, need int) (shadow float64, extra int, ok bool) {
+// beginning at t (all excluded from the strictly-running set); down is the
+// number of nodes out of service at t due to hard failures, which shrink
+// the free baseline.
+func (a *auditor) reservationAt(t float64, started, prefix []int, need, down int) (shadow float64, extra int, ok bool) {
 	startedAtT := make(map[int]bool, len(started))
 	for _, s := range started {
 		startedAtT[s] = true
 	}
-	free := a.trace.MachineNodes
+	free := a.trace.MachineNodes - down
 	type run struct {
 		idx    int
 		estEnd float64

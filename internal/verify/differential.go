@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -20,6 +21,10 @@ type RunConfig struct {
 	DisableBackfill bool
 	Policy          sim.Policy
 	RankRemap       bool
+	// Faults attaches the spec's generated fault trace to this cell (the
+	// trace itself is a function of the spec, so the flag is all a cell
+	// needs to carry).
+	Faults bool
 }
 
 // String renders the config as its reproducer form.
@@ -31,10 +36,14 @@ func (c RunConfig) String() string {
 	if c.RankRemap {
 		s += " remap"
 	}
+	if c.Faults {
+		s += " faults"
+	}
 	return s
 }
 
-// SimConfig expands the cell into a simulator configuration.
+// SimConfig expands the cell into a simulator configuration. ftrace is the
+// spec's generated fault trace, attached only when the cell requests it.
 func (c RunConfig) SimConfig(topo *topology.Topology) sim.Config {
 	return sim.Config{
 		Topology:        topo,
@@ -44,6 +53,16 @@ func (c RunConfig) SimConfig(topo *topology.Topology) sim.Config {
 		Policy:          c.Policy,
 		RankRemap:       c.RankRemap,
 	}
+}
+
+// simConfigFaults is SimConfig plus the fault trace for cells that carry
+// the Faults flag.
+func (c RunConfig) simConfigFaults(topo *topology.Topology, ftrace faults.Trace) sim.Config {
+	cfg := c.SimConfig(topo)
+	if c.Faults {
+		cfg.Faults = ftrace
+	}
+	return cfg
 }
 
 var (
@@ -74,6 +93,33 @@ func AllConfigs() []RunConfig {
 		RunConfig{Algorithm: core.Adaptive, RankRemap: true},
 	)
 	return out
+}
+
+// FaultConfigs returns the fault-trace cells of the matrix: representative
+// (algorithm × mode × backfill × policy) combinations re-run with the
+// spec's generated fault trace attached, so node kills, requeues and
+// capacity loss exercise every selector family under the full audit.
+func FaultConfigs() []RunConfig {
+	return []RunConfig{
+		{Algorithm: core.Default, Faults: true},
+		{Algorithm: core.Greedy, Faults: true},
+		{Algorithm: core.Adaptive, Faults: true},
+		{Algorithm: core.Balanced, CostMode: costmodel.ModeHopBytes, Policy: sim.SJF, Faults: true},
+		{Algorithm: core.Adaptive, Policy: sim.WidestFirst, Faults: true},
+		{Algorithm: core.BalancedNoPow2, CostMode: costmodel.ModeDistanceOnly,
+			DisableBackfill: true, Faults: true},
+	}
+}
+
+// ConfigsFor returns the matrix for a spec: the base cells, plus the fault
+// cells when the spec injects faults. A fault-free spec gets exactly the
+// original matrix, keeping its results bit-identical to older runs.
+func ConfigsFor(spec TraceSpec) []RunConfig {
+	configs := AllConfigs()
+	if spec.Faults > 0 {
+		configs = append(configs, FaultConfigs()...)
+	}
+	return configs
 }
 
 // Failure is a verification failure with enough context to reproduce it.
@@ -109,13 +155,13 @@ func (f *Failure) Reproducer() string {
 // on a GOMAXPROCS-bounded worker pool; use DifferentialParallel to pick
 // the pool size.
 func Differential(spec TraceSpec) error {
-	return DifferentialConfigsParallel(spec, AllConfigs(), 0)
+	return DifferentialConfigsParallel(spec, ConfigsFor(spec), 0)
 }
 
 // DifferentialParallel is Differential with an explicit worker-pool size
 // for the matrix cells (<= 0 means GOMAXPROCS, 1 forces sequential).
 func DifferentialParallel(spec TraceSpec, parallelism int) error {
-	return DifferentialConfigsParallel(spec, AllConfigs(), parallelism)
+	return DifferentialConfigsParallel(spec, ConfigsFor(spec), parallelism)
 }
 
 // DifferentialConfigs is Differential over a caller-chosen subset of the
@@ -133,6 +179,7 @@ func DifferentialConfigsParallel(spec TraceSpec, configs []RunConfig, parallelis
 	if err != nil {
 		return &Failure{Spec: spec, Err: err}
 	}
+	ftrace := spec.BuildFaults(topo, trace)
 	computeOnly := true
 	for _, j := range trace.Jobs {
 		if j.Class == cluster.CommIntensive {
@@ -142,7 +189,7 @@ func DifferentialConfigsParallel(spec TraceSpec, configs []RunConfig, parallelis
 	}
 	results := make([]*sim.Result, len(configs))
 	err = runCells(len(configs), parallelism, func(i int) error {
-		cfg := configs[i].SimConfig(topo)
+		cfg := configs[i].simConfigFaults(topo, ftrace)
 		res, err := sim.RunContinuous(cfg, trace)
 		if err != nil {
 			return &Failure{Spec: spec, Config: &configs[i], Err: err}
@@ -179,8 +226,48 @@ func DifferentialConfigsParallel(spec TraceSpec, configs []RunConfig, parallelis
 	if err := checkShiftInvariance(spec, topo, trace, configs, results); err != nil {
 		return err
 	}
-	if err := checkDeterminism(spec, topo, trace, configs, results); err != nil {
+	if err := checkDeterminism(spec, topo, trace, ftrace, configs, results); err != nil {
 		return err
+	}
+	if err := checkZeroFaultIdentity(spec, topo, trace, configs, results); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkZeroFaultIdentity asserts the metamorphic property anchoring the
+// fault subsystem: attaching a zero-failure injector (an empty fault
+// trace from the MTBF model) to a base cell must reproduce that cell's
+// results bit-identically. Any drift here means fault plumbing leaks into
+// the fault-free scheduling path.
+func checkZeroFaultIdentity(spec TraceSpec, topo *topology.Topology, trace workload.Trace,
+	configs []RunConfig, results []*sim.Result) error {
+	for i := range configs {
+		if configs[i].Faults {
+			continue
+		}
+		// One representative base cell per run keeps the cost bounded.
+		if (configs[i] != RunConfig{Algorithm: core.Adaptive}) {
+			continue
+		}
+		cfg := configs[i].SimConfig(topo)
+		cfg.Faults = faults.Model{}.Generate(topo.NumNodes(), math.Inf(1))
+		res, err := sim.RunContinuous(cfg, trace)
+		if err != nil {
+			return &Failure{Spec: spec, Config: &configs[i], Err: fmt.Errorf("zero-fault run: %w", err)}
+		}
+		if res.Summary != results[i].Summary {
+			return &Failure{Spec: spec, Config: &configs[i], Err: fmt.Errorf(
+				"zero-failure injector changed summary: %+v vs %+v", res.Summary, results[i].Summary)}
+		}
+		for k := range res.Jobs {
+			if res.Jobs[k] != results[i].Jobs[k] {
+				return &Failure{Spec: spec, Config: &configs[i], Err: fmt.Errorf(
+					"zero-failure injector changed job %d: %+v vs %+v",
+					res.Jobs[k].ID, res.Jobs[k], results[i].Jobs[k])}
+			}
+		}
+		return nil
 	}
 	return nil
 }
@@ -253,10 +340,11 @@ func checkComputeOnlyAgreement(spec TraceSpec, configs []RunConfig, results []*s
 	type group struct {
 		backfillOff bool
 		policy      sim.Policy
+		faults      bool
 	}
 	first := make(map[group]int)
 	for i := range configs {
-		g := group{configs[i].DisableBackfill, configs[i].Policy}
+		g := group{configs[i].DisableBackfill, configs[i].Policy, configs[i].Faults}
 		ref, ok := first[g]
 		if !ok {
 			first[g] = i
@@ -311,9 +399,9 @@ func checkShiftInvariance(spec TraceSpec, topo *topology.Topology, trace workloa
 
 // checkDeterminism re-runs one cell and requires bit-identical results.
 func checkDeterminism(spec TraceSpec, topo *topology.Topology, trace workload.Trace,
-	configs []RunConfig, results []*sim.Result) error {
+	ftrace faults.Trace, configs []RunConfig, results []*sim.Result) error {
 	i := int(spec.Seed%int64(len(configs))+int64(len(configs))) % len(configs)
-	res, err := sim.RunContinuous(configs[i].SimConfig(topo), trace)
+	res, err := sim.RunContinuous(configs[i].simConfigFaults(topo, ftrace), trace)
 	if err != nil {
 		return &Failure{Spec: spec, Config: &configs[i], Err: fmt.Errorf("rerun: %w", err)}
 	}
@@ -327,10 +415,12 @@ func checkDeterminism(spec TraceSpec, topo *topology.Topology, trace workload.Tr
 	return nil
 }
 
-// RunMatrix runs spec's trace over every cell and returns the per-cell
-// summaries — the data the cawsverify CLI reports — or the first Failure.
+// RunMatrix runs spec's trace over every cell (ConfigsFor order, so fault
+// cells are included when the spec injects faults) and returns the
+// per-cell summaries — the data the cawsverify CLI reports — or the first
+// Failure.
 func RunMatrix(spec TraceSpec) ([]metrics.Summary, error) {
-	results, err := runMatrixResults(spec, AllConfigs(), 0)
+	results, err := runMatrixResults(spec, ConfigsFor(spec), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -348,9 +438,10 @@ func runMatrixResults(spec TraceSpec, configs []RunConfig, parallelism int) ([]*
 	if err != nil {
 		return nil, &Failure{Spec: spec, Err: err}
 	}
+	ftrace := spec.BuildFaults(topo, trace)
 	results := make([]*sim.Result, len(configs))
 	err = runCells(len(configs), parallelism, func(i int) error {
-		res, err := sim.RunContinuous(configs[i].SimConfig(topo), trace)
+		res, err := sim.RunContinuous(configs[i].simConfigFaults(topo, ftrace), trace)
 		if err != nil {
 			return &Failure{Spec: spec, Config: &configs[i], Err: err}
 		}

@@ -19,8 +19,37 @@ func FuzzRunContinuous(f *testing.F) {
 		if jobs > 0 {
 			spec.Jobs = 1 + int(jobs)%60
 		}
-		configs := AllConfigs()
+		configs := ConfigsFor(spec)
 		cfg := configs[int(cell)%len(configs)]
+		if err := DifferentialConfigs(spec, []RunConfig{cfg}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzFaultTrace hands fuzzer-chosen fault parameters (outage count, seed
+// perturbation, matrix cell) to a single differential cell with faults
+// forced on: the generated fault trace must validate, the run must pass
+// the full fault-aware audit, and the zero-failure metamorphic identity
+// must hold for the paired fault-free spec.
+func FuzzFaultTrace(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(0))
+	f.Add(int64(17), uint8(1), uint8(2))
+	f.Add(int64(99), uint8(8), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, outages, cell uint8) {
+		spec := DefaultSpec(seed)
+		spec.Jobs = 1 + spec.Jobs%25 // keep each input cheap
+		spec.Faults = 1 + int(outages)%10
+		topo, trace, err := spec.Build()
+		if err != nil {
+			t.Skip() // degenerate spec dimensions
+		}
+		ftrace := spec.BuildFaults(topo, trace)
+		if err := ftrace.Validate(topo.NumNodes()); err != nil {
+			t.Fatalf("generated fault trace invalid: %v", err)
+		}
+		fc := FaultConfigs()
+		cfg := fc[int(cell)%len(fc)]
 		if err := DifferentialConfigs(spec, []RunConfig{cfg}); err != nil {
 			t.Fatal(err)
 		}

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/collective"
+	"repro/internal/faults"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -43,13 +45,23 @@ type TraceSpec struct {
 	// Load is the offered load (node-seconds per second over machine size)
 	// the arrival process targets; > 1 forces deep queues.
 	Load float64
+	// Faults is the number of injected node outages (each paired with a
+	// repair); 0 disables fault injection, reproducing the original matrix
+	// bit-identically. Fault parameters are derived from an independent
+	// seeded generator, so older specs build unchanged traces.
+	Faults int
 }
 
-// String renders the spec as its reproducer form.
+// String renders the spec as its reproducer form. The faults field is only
+// printed when set, so fault-free reproducer strings match older runs.
 func (s TraceSpec) String() string {
-	return fmt.Sprintf("seed=%d jobs=%d leaves=%d npl=%d pods=%d comm=%.3f dep=%.3f badest=%.3f load=%.3f",
+	out := fmt.Sprintf("seed=%d jobs=%d leaves=%d npl=%d pods=%d comm=%.3f dep=%.3f badest=%.3f load=%.3f",
 		s.Seed, s.Jobs, s.Leaves, s.NodesPerLeaf, s.Pods, s.CommFraction,
 		s.DepFraction, s.BadEstFraction, s.Load)
+	if s.Faults > 0 {
+		out += fmt.Sprintf(" faults=%d", s.Faults)
+	}
+	return out
 }
 
 // DefaultSpec derives a randomized-but-deterministic spec from a seed:
@@ -77,6 +89,13 @@ func DefaultSpec(seed int64) TraceSpec {
 	}
 	if rng.Float64() < 0.5 {
 		s.BadEstFraction = rng.Float64()
+	}
+	// Fault injection draws from its own generator: extending the spec must
+	// not perturb the draw order above, or every previously generated trace
+	// (and the failures their seeds reproduce) would silently change.
+	frng := rand.New(rand.NewSource(seed ^ 0x0fa17))
+	if frng.Float64() < 0.35 {
+		s.Faults = 1 + frng.Intn(5)
 	}
 	return s
 }
@@ -188,6 +207,51 @@ func (s TraceSpec) randomMix(rng *rand.Rand) collective.Mix {
 			{Pattern: q, Frac: share * (1 - split)},
 		},
 	}
+}
+
+// BuildFaults materialises the spec's fault trace against a built
+// (topology, trace) pair: s.Faults node outages (≈25% graceful drains, the
+// rest hard failures) spread over the span the jobs arrive in, each paired
+// with a repair so capacity always returns. Times are continuous, so
+// collisions with job events have probability zero and the backfill audit
+// stays decidable. The generator is independent of Build's, keyed on the
+// same seed.
+func (s TraceSpec) BuildFaults(topo *topology.Topology, trace workload.Trace) faults.Trace {
+	if s.Faults <= 0 || topo.NumNodes() == 0 {
+		return nil
+	}
+	horizon := 0.0
+	for _, j := range trace.Jobs {
+		if j.Submit > horizon {
+			horizon = j.Submit
+		}
+	}
+	// Even a single-instant trace gets a usable window: outages then land
+	// after the burst and repairs complete at finite times.
+	horizon += 100
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x0fa17))
+	t := make(faults.Trace, 0, 2*s.Faults)
+	for k := 0; k < s.Faults; k++ {
+		node := rng.Intn(topo.NumNodes())
+		at := rng.Float64() * horizon
+		kind := faults.Fail
+		if rng.Float64() < 0.25 {
+			kind = faults.Drain
+		}
+		repairAfter := 1 + rng.ExpFloat64()*horizon/4
+		t = append(t, faults.Event{Time: at, Kind: kind, Node: node})
+		t = append(t, faults.Event{Time: at + repairAfter, Kind: faults.Repair, Node: node})
+	}
+	sort.Slice(t, func(i, j int) bool {
+		if t[i].Time != t[j].Time {
+			return t[i].Time < t[j].Time
+		}
+		if t[i].Node != t[j].Node {
+			return t[i].Node < t[j].Node
+		}
+		return t[i].Kind < t[j].Kind
+	})
+	return t
 }
 
 // Shifted returns a copy of the trace with every submit time moved by

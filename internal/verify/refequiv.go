@@ -18,7 +18,7 @@ import (
 // other simulations; parallelism only bounds the worker pool within each
 // of the two matrix sweeps.
 func ReferenceEquivalence(spec TraceSpec, parallelism int) error {
-	configs := AllConfigs()
+	configs := ConfigsFor(spec)
 	cluster.SetReferenceMode(false)
 	costmodel.SetReferenceMode(false)
 	fast, err := runMatrixResults(spec, configs, parallelism)

@@ -155,8 +155,8 @@ func TestRunMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sums) != len(AllConfigs()) {
-		t.Fatalf("%d summaries for %d cells", len(sums), len(AllConfigs()))
+	if len(sums) != len(ConfigsFor(spec)) {
+		t.Fatalf("%d summaries for %d cells", len(sums), len(ConfigsFor(spec)))
 	}
 	for i, s := range sums {
 		if s.Jobs != spec.Jobs {

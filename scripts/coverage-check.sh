@@ -1,0 +1,32 @@
+#!/bin/sh
+# coverage-check: run `go test -coverprofile` over ./internal/... and fail
+# loudly if total statement coverage drops below the checked-in floor in
+# scripts/coverage-floor.txt. Raise the floor when coverage improves; CI
+# uploads the profile so a drop can be diagnosed from the artifact alone.
+#
+# Usage: sh scripts/coverage-check.sh [profile.out]
+set -eu
+
+GO=${GO:-go}
+floor_file=scripts/coverage-floor.txt
+profile=${1:-coverage.out}
+
+floor=$(grep -v '^#' "$floor_file" | head -1)
+if [ -z "$floor" ]; then
+    echo "coverage-check: no floor in $floor_file" >&2
+    exit 2
+fi
+
+$GO test -count=1 -coverprofile="$profile" ./internal/...
+
+total=$($GO tool cover -func="$profile" | awk '/^total:/ { gsub(/%/, "", $NF); print $NF }')
+echo "coverage-check: total ${total}% of statements (floor ${floor}%)"
+
+if awk "BEGIN { exit !($total < $floor) }"; then
+    echo "coverage-check: FAIL — total coverage ${total}% fell below the ${floor}% floor" >&2
+    echo "coverage-check: least-covered functions:" >&2
+    $GO tool cover -func="$profile" | grep -v '^total:' | sed 's/%$//' | sort -k3 -n | head -25 >&2
+    echo "coverage-check: add tests for the new code or (with reviewer sign-off)" >&2
+    echo "coverage-check: lower the floor in $floor_file with a justification." >&2
+    exit 1
+fi
