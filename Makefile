@@ -26,11 +26,12 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzz runs of the native fuzz targets; CI smoke, not a soak. The
-# scheduled CI fuzz job runs the same three targets at FUZZTIME=5m.
+# scheduled CI fuzz job runs the same four targets at FUZZTIME=5m.
 fuzz-smoke:
 	$(GO) test ./internal/core -run FuzzAllocate -fuzz FuzzAllocate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run FuzzRunContinuous -fuzz FuzzRunContinuous -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run FuzzFaultTrace -fuzz FuzzFaultTrace -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/verify -run FuzzLayoutScale -fuzz FuzzLayoutScale -fuzztime $(FUZZTIME)
 
 # Statement-coverage gate: fails when total coverage over ./internal/...
 # drops below the floor in scripts/coverage-floor.txt.
@@ -45,11 +46,11 @@ verify:
 # Fast-path micro-benchmarks with their opt/ref speedup pairs, recorded as
 # a dated JSON artifact (BENCH_<date>.json, committed for the perf PRs).
 BENCHTIME ?= 1s
-BENCH_PKGS = ./internal/core ./internal/costmodel ./internal/sim ./internal/cluster
+BENCH_PKGS = ./internal/core ./internal/costmodel ./internal/sim ./internal/cluster ./internal/sweep
 # -p 1 keeps package test binaries sequential: concurrently running
 # packages contaminate each other's timings.
 bench:
-	$(GO) test -p 1 -run '^$$' -bench 'BenchmarkSelect|BenchmarkJobCost$$|BenchmarkRunContinuous$$|BenchmarkAllocateRelease' \
+	$(GO) test -p 1 -run '^$$' -bench 'BenchmarkSelect|BenchmarkJobCost$$|BenchmarkJobCost512Leaves|BenchmarkRunContinuous$$|BenchmarkAllocateRelease|BenchmarkSweepGrid' \
 		-benchtime $(BENCHTIME) -benchmem -json $(BENCH_PKGS) > BENCH_$$(date +%F).json
 	@echo "wrote BENCH_$$(date +%F).json"
 

@@ -35,6 +35,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		costMode  = flag.String("costmode", "effective-hops", "cost function")
 		policy    = flag.String("policy", "fifo", "queue policy: fifo, sjf, widest")
+		parallel  = flag.Int("parallel", 0, "grid cells simulated concurrently (0 = GOMAXPROCS); output is identical at every setting")
 		out       = flag.String("o", "", "output CSV file (default stdout)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -46,7 +47,7 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(*machines, *patterns, *comm, *commShare, *algs, *jobs, *seed,
-		*costMode, *policy, *out)
+		*costMode, *policy, *parallel, *out)
 	if serr := stop(); err == nil {
 		err = serr
 	}
@@ -60,8 +61,8 @@ func main() {
 }
 
 func run(machines, patterns, comm, commShare, algs string, jobs int, seed int64,
-	costMode, policy, out string) error {
-	g := sweep.Grid{Jobs: jobs, Seed: seed}
+	costMode, policy string, parallel int, out string) error {
+	g := sweep.Grid{Jobs: jobs, Seed: seed, Parallelism: parallel}
 	for _, name := range strings.Split(machines, ",") {
 		p, err := workload.PresetByName(strings.TrimSpace(name))
 		if err != nil {
@@ -97,7 +98,10 @@ func run(machines, patterns, comm, commShare, algs string, jobs int, seed int64,
 		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "cawsweep: %d runs\n", g.Size())
+	// Name the cost-evaluation path up front: a sweep silently running the
+	// reference loops instead of the leaf-aggregated kernel (or vice versa)
+	// would be invisible in the numbers alone.
+	fmt.Fprintf(os.Stderr, "cawsweep: %d runs, cost kernel: %s\n", g.Size(), costmodel.KernelPath())
 	points, err := sweep.Run(g)
 	if err != nil {
 		return err

@@ -10,7 +10,7 @@ import (
 func TestRunSweep(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "sweep.csv")
 	err := run("Theta", "rd", "0.3,0.9", "0.7", "default,adaptive", 40, 1,
-		"effective-hops", "fifo", out)
+		"effective-hops", "fifo", 0, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,16 +22,52 @@ func TestRunSweep(t *testing.T) {
 	if len(lines) != 5 { // header + 2 fractions × 2 algorithms
 		t.Fatalf("%d CSV lines, want 5", len(lines))
 	}
+	// Every data row must carry the kernel-path column so the sweep output
+	// records which cost path produced it.
+	if !strings.Contains(lines[0], "cost_kernel") {
+		t.Fatalf("header missing cost_kernel column: %s", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, ",fast,") {
+			t.Fatalf("data row missing fast kernel marker: %s", line)
+		}
+	}
+}
+
+// TestRunSweepParallelByteIdentical runs the identical sweep at three
+// worker-pool sizes and requires byte-identical CSV files: sharding is a
+// wall-clock optimisation, never an output perturbation.
+func TestRunSweepParallelByteIdentical(t *testing.T) {
+	var outputs [][]byte
+	for _, parallel := range []int{1, 4, 0} { // 0 = GOMAXPROCS
+		out := filepath.Join(t.TempDir(), "sweep.csv")
+		err := run("Theta", "rd", "0.3,0.9", "0.7", "default,adaptive", 40, 1,
+			"effective-hops", "fifo", parallel, out)
+		if err != nil {
+			t.Fatalf("-parallel %d: %v", parallel, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, data)
+	}
+	for i := 1; i < len(outputs); i++ {
+		if string(outputs[i]) != string(outputs[0]) {
+			t.Fatalf("sweep output differs between parallelism settings:\n%s\nvs\n%s",
+				outputs[0], outputs[i])
+		}
+	}
 }
 
 func TestRunSweepErrors(t *testing.T) {
 	cases := []error{
-		run("Nope", "rd", "0.9", "0.7", "default", 10, 1, "effective-hops", "fifo", ""),
-		run("Theta", "frob", "0.9", "0.7", "default", 10, 1, "effective-hops", "fifo", ""),
-		run("Theta", "rd", "zzz", "0.7", "default", 10, 1, "effective-hops", "fifo", ""),
-		run("Theta", "rd", "0.9", "0.7", "frob", 10, 1, "effective-hops", "fifo", ""),
-		run("Theta", "rd", "0.9", "0.7", "default", 10, 1, "frob", "fifo", ""),
-		run("Theta", "rd", "0.9", "0.7", "default", 10, 1, "effective-hops", "frob", ""),
+		run("Nope", "rd", "0.9", "0.7", "default", 10, 1, "effective-hops", "fifo", 0, ""),
+		run("Theta", "frob", "0.9", "0.7", "default", 10, 1, "effective-hops", "fifo", 0, ""),
+		run("Theta", "rd", "zzz", "0.7", "default", 10, 1, "effective-hops", "fifo", 0, ""),
+		run("Theta", "rd", "0.9", "0.7", "frob", 10, 1, "effective-hops", "fifo", 0, ""),
+		run("Theta", "rd", "0.9", "0.7", "default", 10, 1, "frob", "fifo", 0, ""),
+		run("Theta", "rd", "0.9", "0.7", "default", 10, 1, "effective-hops", "frob", 0, ""),
 	}
 	for i, err := range cases {
 		if err == nil {

@@ -6,39 +6,42 @@ import (
 	"repro/internal/topology"
 )
 
-// MaxLayoutLeaves bounds the flat leaf-pair matrices below. The largest
-// evaluated machine (Mira) has 128 leaf switches; topologies with more
-// leaves get no Layout and cost evaluation falls back to the reference
-// node-pair loops.
-const MaxLayoutLeaves = 128
+// DensePairLeaves is the leaf count up to which the costmodel's leaf-pair
+// caches use flat L×L matrices (the largest machine the paper evaluates,
+// Mira, has 128 leaf switches). Larger topologies are served by sparse,
+// touched-pair-only structures instead of falling back to the reference
+// node-pair loops: every topology gets a Layout and the fast kernel.
+const DensePairLeaves = 128
 
 // Layout is the flat structure-of-arrays view of a topology that the
-// leaf-aggregated cost kernel (costmodel) consumes: every quantity Eq. 5
-// needs that depends only on the immutable tree — pairwise leaf distances,
-// leaf sizes and pairwise size sums pre-converted to float64, and the
-// node → leaf map — laid out as contiguous slices so the kernel's inner
-// loops are pointer-chase-free. A Layout is built once per topology and
-// shared (the topology is immutable); the generation-keyed state on top of
-// it (per-leaf contention, cached hops) lives in State and costmodel.
+// leaf-aggregated cost kernel (costmodel) consumes. Per-leaf quantities —
+// leaf sizes (as both the exact integers and their float64 conversions)
+// and the node → leaf map — are laid out as contiguous slices; the
+// per-*pair* quantities Eq. 5 needs (leaf-pair distance, pairwise size
+// sum) are computed on demand from that per-leaf data by Dist and
+// PairSize, so a Layout is O(nodes + leaves) however many leaves the
+// topology has. A Layout is built once per topology and shared (the
+// topology is immutable); the generation-keyed state on top of it
+// (per-leaf contention, cached hops) lives in State and costmodel.
 //
-// All float64 fields are conversions of the exact integers the reference
+// All float64 values are conversions of the exact integers the reference
 // expressions convert (float64(2*level), float64(size_i + size_j)), so
 // kernels reading them produce bit-identical results to code calling
 // Topology.Distance and Topology.LeafSize directly.
 type Layout struct {
 	// L is the number of leaf switches.
 	L int
+	// Topo is the immutable topology the layout flattens; Dist resolves
+	// lowest-common-switch levels through its per-leaf ancestor chains.
+	Topo *topology.Topology
 	// NodeLeaf maps node ID -> leaf index.
 	NodeLeaf []int32
-	// Dist is the L×L row-major matrix of Eq. 4 distances between leaves:
-	// float64(2 * level of the lowest common switch). Dist[l*L+l] is 2,
-	// the distance between two distinct nodes on the same leaf.
-	Dist []float64
-	// PairSize is the L×L row-major matrix float64(size_i + size_j), the
-	// denominator of Eq. 3's shared term.
-	PairSize []float64
 	// LeafSize is float64(L_nodes) per leaf, the denominator of Eq. 2.
 	LeafSize []float64
+	// LeafSizeInt is L_nodes per leaf as the exact integer, the summand of
+	// Eq. 3's shared-term denominator (PairSize converts the integer sum,
+	// never sums the conversions).
+	LeafSizeInt []int32
 	// LeafNodeOff/LeafNodeID are the per-leaf attached-node ranges as one
 	// contiguous slice: leaf l's node IDs are
 	// LeafNodeID[LeafNodeOff[l]:LeafNodeOff[l+1]], ascending.
@@ -46,35 +49,66 @@ type Layout struct {
 	LeafNodeID  []int32
 }
 
+// Dist returns the Eq. 4 distance between two leaves —
+// float64(2 * level of the lowest common switch), the exact conversion the
+// reference Hops loop performs via Topology.Distance. Dist(l, l) is 2, the
+// distance between two distinct nodes on the same leaf.
+func (lay *Layout) Dist(li, lj int32) float64 {
+	return float64(2 * lay.Topo.LeafCommonLevel(int(li), int(lj)))
+}
+
+// PairSize returns float64(size_i + size_j), the denominator of Eq. 3's
+// shared term: the integer sizes are summed first and the sum converted,
+// matching the reference expression bit for bit.
+func (lay *Layout) PairSize(li, lj int32) float64 {
+	return float64(int(lay.LeafSizeInt[li]) + int(lay.LeafSizeInt[lj]))
+}
+
+// maxLayoutCacheEntries bounds the layout cache. Layouts are O(nodes), so
+// steady-state memory is tiny, but unbounded topology churn (fuzzing
+// builds thousands of throwaway trees) must not pin them all; on overflow
+// the cache is cleared wholesale — correctness never depends on layout
+// identity across calls, only the costmodel caches' warmth does.
+const maxLayoutCacheEntries = 512
+
 // layoutCache shares one Layout per topology; topologies are immutable so
-// entries are never invalidated.
-var layoutCache sync.Map // *topology.Topology -> *Layout
+// entries are never invalidated, only evicted wholesale on overflow.
+var layoutCache struct {
+	mu sync.RWMutex
+	m  map[*topology.Topology]*Layout
+}
 
 // LayoutOf returns the shared flat layout for the topology, building it on
-// first use, or nil when the topology has more than MaxLayoutLeaves leaf
-// switches (callers then use the reference paths).
+// first use. Every topology has a layout — per-pair quantities are derived
+// on demand, so there is no leaf-count ceiling and never a nil return.
 func LayoutOf(topo *topology.Topology) *Layout {
-	if topo.NumLeaves() > MaxLayoutLeaves {
-		return nil
+	layoutCache.mu.RLock()
+	lay := layoutCache.m[topo]
+	layoutCache.mu.RUnlock()
+	if lay != nil {
+		return lay
 	}
-	if v, ok := layoutCache.Load(topo); ok {
-		return v.(*Layout)
+	built := buildLayout(topo)
+	layoutCache.mu.Lock()
+	defer layoutCache.mu.Unlock()
+	if lay := layoutCache.m[topo]; lay != nil {
+		return lay
 	}
-	lay := buildLayout(topo)
-	if v, loaded := layoutCache.LoadOrStore(topo, lay); loaded {
-		return v.(*Layout)
+	if layoutCache.m == nil || len(layoutCache.m) >= maxLayoutCacheEntries {
+		layoutCache.m = make(map[*topology.Topology]*Layout)
 	}
-	return lay
+	layoutCache.m[topo] = built
+	return built
 }
 
 func buildLayout(topo *topology.Topology) *Layout {
 	l := topo.NumLeaves()
 	lay := &Layout{
 		L:           l,
+		Topo:        topo,
 		NodeLeaf:    make([]int32, topo.NumNodes()),
-		Dist:        make([]float64, l*l),
-		PairSize:    make([]float64, l*l),
 		LeafSize:    make([]float64, l),
+		LeafSizeInt: make([]int32, l),
 		LeafNodeOff: make([]int32, l+1),
 	}
 	for id := 0; id < topo.NumNodes(); id++ {
@@ -82,10 +116,7 @@ func buildLayout(topo *topology.Topology) *Layout {
 	}
 	for i := 0; i < l; i++ {
 		lay.LeafSize[i] = float64(topo.LeafSize(i))
-		for j := 0; j < l; j++ {
-			lay.Dist[i*l+j] = float64(2 * topo.LeafCommonLevel(i, j))
-			lay.PairSize[i*l+j] = float64(topo.LeafSize(i) + topo.LeafSize(j))
-		}
+		lay.LeafSizeInt[i] = int32(topo.LeafSize(i))
 	}
 	for i := 0; i < l; i++ {
 		lay.LeafNodeOff[i] = int32(len(lay.LeafNodeID))

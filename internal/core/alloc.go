@@ -553,8 +553,8 @@ func (j *adaptiveJoin) run() {
 // candidates are priced concurrently: the balanced candidate on a spawned
 // goroutine, the greedy one inline, joined by candidate identity — a
 // bounded, deterministic two-way join whose result never depends on
-// completion order. When costing mutates the state (reference mode, or a
-// topology too large for the flat layout), pricing stays sequential.
+// completion order. When costing mutates the state (reference mode),
+// pricing stays sequential.
 func (adaptiveSelector) Select(st *cluster.State, req Request) ([]int, error) {
 	g, err := greedySelector{}.Select(st, req)
 	if err != nil {

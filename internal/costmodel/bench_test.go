@@ -8,6 +8,42 @@ import (
 	"repro/internal/topology"
 )
 
+// BenchmarkJobCost512Leaves measures Eq. 6 on a machine four times past
+// the dense-block threshold (512 leaves, three-level tree): a 256-node
+// recursive-doubling job striped across every other leaf, evaluated by
+// the sparse leaf-pair kernel ("opt") and the uncached reference loop
+// ("ref"). Before the sparse kernel this shape silently ran the reference
+// path, so this pair is the ceiling-breaking evidence the committed
+// BENCH_*.json tracks.
+func BenchmarkJobCost512Leaves(b *testing.B) {
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{128, 4}})
+	st := cluster.New(topo)
+	nodes := make([]int, 256)
+	for i := range nodes {
+		nodes[i] = topo.LeafNodes(2 * i % topo.NumLeaves())[0]
+	}
+	if err := st.Allocate(1, cluster.CommIntensive, nodes); err != nil {
+		b.Fatal(err)
+	}
+	steps := collective.RD.MustSchedule(256)
+	for _, mode := range []struct {
+		name string
+		ref  bool
+	}{{"opt", false}, {"ref", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			SetReferenceMode(mode.ref)
+			defer SetReferenceMode(false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := JobCost(st, nodes, steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkJobCost measures Eq. 6 over a 512-node recursive-doubling job
 // spread across every Theta leaf, with the leaf-pair cache ("opt") and the
 // uncached reference loop ("ref"). The committed BENCH_*.json tracks the

@@ -66,9 +66,6 @@ func JobCost(st *cluster.State, nodes []int, steps []collective.Step) (float64, 
 		return 0, nil
 	}
 	lay := cluster.LayoutOf(st.Topology())
-	if lay == nil {
-		return jobCostRef(st, nodes, steps)
-	}
 	ls, err := leafSchedFor(lay, nodes, steps)
 	if err != nil {
 		return 0, err
@@ -77,8 +74,9 @@ func JobCost(st *cluster.State, nodes []int, steps []collective.Step) (float64, 
 }
 
 // jobCostRef is the uncached reference implementation of JobCost, kept for
-// differential equivalence checks and as the fallback for topologies too
-// large for the leaf-pair cache.
+// differential equivalence checks (SetReferenceMode routes all costing
+// through it). It is no longer a size fallback: every topology gets a
+// layout, so the fast kernel handles any leaf count.
 func jobCostRef(st *cluster.State, nodes []int, steps []collective.Step) (float64, error) {
 	total := 0.0
 	var prevPairs *collective.Pair
@@ -119,9 +117,6 @@ func JobCostHopBytes(st *cluster.State, nodes []int, steps []collective.Step, ba
 		return 0, nil
 	}
 	lay := cluster.LayoutOf(st.Topology())
-	if lay == nil {
-		return jobCostHopBytesRef(st, nodes, steps, baseMsgSize)
-	}
 	ls, err := leafSchedFor(lay, nodes, steps)
 	if err != nil {
 		return 0, err
@@ -185,9 +180,6 @@ func CandidateCost(st *cluster.State, job cluster.JobID, class cluster.Class,
 		return candidateCostRef(st, job, class, nodes, p)
 	}
 	lay := cluster.LayoutOf(st.Topology())
-	if lay == nil {
-		return candidateCostRef(st, job, class, nodes, p)
-	}
 	if err := validateCandidate(st, job, nodes); err != nil {
 		return 0, fmt.Errorf("costmodel: candidate allocate: %w", err)
 	}
@@ -209,9 +201,9 @@ func CandidateCost(st *cluster.State, job cluster.JobID, class cluster.Class,
 
 // candidateCostRef is the reference implementation of CandidateCost —
 // tentatively allocate, cost, roll back — kept for differential
-// equivalence checks and as the fallback for topologies too large for the
-// flat layout. It mutates the state (two generation bumps) and must not
-// run concurrently with other evaluations of the same state.
+// equivalence checks (SetReferenceMode routes candidate costing through
+// it). It mutates the state (two generation bumps) and must not run
+// concurrently with other evaluations of the same state.
 func candidateCostRef(st *cluster.State, job cluster.JobID, class cluster.Class,
 	nodes []int, p collective.Pattern) (float64, error) {
 	if err := st.Allocate(job, class, nodes); err != nil {
@@ -228,10 +220,24 @@ func candidateCostRef(st *cluster.State, job cluster.JobID, class cluster.Class,
 // CandidateCostMode are currently pure reads of the state (the overlay
 // fast path) — and therefore safe to call from concurrent goroutines over
 // one state. False means candidate costing tentatively mutates the state
-// (reference mode, or a topology too large for the flat layout) and
-// callers must serialize.
+// (reference mode) and callers must serialize. Topology size no longer
+// matters: every topology gets a layout and the read-only overlay path.
 func CandidateCostReadOnly(st *cluster.State) bool {
-	return !referenceMode.Load() && cluster.LayoutOf(st.Topology()) != nil
+	return !referenceMode.Load()
+}
+
+// KernelPath names the cost-evaluation path currently in effect:
+// "fast" for the leaf-aggregated kernel (the default on every topology,
+// whatever its leaf count) or "reference" when SetReferenceMode has routed
+// evaluation through the uncached node-pair loops. The path is
+// process-global — there is no longer a per-topology size fallback — and
+// surfacing it, rather than silently falling back, is what lets sweeps
+// and operators verify large machines really run the O(L²) kernel.
+func KernelPath() string {
+	if referenceMode.Load() {
+		return "reference"
+	}
+	return "fast"
 }
 
 // RuntimeRatio returns Cost_jobaware / Cost_default with the paper's

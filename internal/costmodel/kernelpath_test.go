@@ -1,0 +1,47 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/topology"
+)
+
+// TestKernelPathLargeTopology is the regression test for the silent
+// fallback: topologies past the dense-block threshold used to get no
+// layout and dropped invisibly onto the reference loops. The path
+// indicator must report the fast kernel at every scale, and costing a
+// cross-machine job at that scale must actually succeed through it.
+func TestKernelPathLargeTopology(t *testing.T) {
+	for _, leaves := range []int{8, cluster.DensePairLeaves, cluster.DensePairLeaves + 1, 512} {
+		topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{leaves}})
+		st := cluster.New(topo)
+		if got := KernelPath(); got != "fast" {
+			t.Fatalf("%d leaves: KernelPath = %q, want \"fast\"", leaves, got)
+		}
+		nodes := []int{0, topo.NumNodes() - 1}
+		steps, err := ScheduleFor(collective.RD, len(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := JobCost(st, nodes, steps)
+		if err != nil {
+			t.Fatalf("%d leaves: JobCost on the fast path: %v", leaves, err)
+		}
+		if cost == 0 {
+			t.Fatalf("%d leaves: cross-machine job cost is zero", leaves)
+		}
+	}
+}
+
+// TestKernelPathReferenceMode pins the other half of the indicator: with
+// reference mode on, every state — whatever its size — reports the
+// reference path.
+func TestKernelPathReferenceMode(t *testing.T) {
+	SetReferenceMode(true)
+	defer SetReferenceMode(false)
+	if got := KernelPath(); got != "reference" {
+		t.Fatalf("KernelPath under reference mode = %q, want \"reference\"", got)
+	}
+}

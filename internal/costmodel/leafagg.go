@@ -127,28 +127,43 @@ func leafSchedFor(lay *cluster.Layout, nodes []int, steps []collective.Step) (*l
 }
 
 // buildScratch is the pooled working set of buildLeafSchedule: epoch- and
-// tag-stamped leaf and leaf-pair matrices that replace per-build maps.
+// tag-stamped leaf and leaf-pair arrays that replace per-build maps. The
+// leaf arrays are sized off the layout (O(L)); the pair arrays are indexed
+// by *compact* touched-leaf positions, so they are O(touched²) — the
+// sparse index that lets compilation scale past the old 128-leaf dense
+// matrices (a job touching k leaves needs k² slots however large L is).
+// Arrays grow on demand and persist in the pool; freshly grown arrays are
+// zeroed, which the monotone epoch/tag counters read as stale.
 type buildScratch struct {
-	leafPos   []int32 // leaf -> index into ls.leaves, valid per epoch
+	leafPos   []int32 // real leaf -> index into ls.leaves, valid per epoch
 	leafEpoch []uint32
-	pairID    []int32 // leaf-pair -> index into ls.pairLi, valid per epoch
+	pairID    []int32 // compact pair -> index into ls.pairLi, valid per epoch
 	pairEpoch []uint32
-	stepTag   []uint32 // leaf-pair -> tag of the step that last saw it
-	stepPos   []int32  // leaf-pair -> position in ls.ids for that step
+	stepTag   []uint32 // compact pair -> tag of the step that last saw it
+	stepPos   []int32  // compact pair -> position in ls.ids for that step
 	epoch     uint32
 	tag       uint32
 }
 
-var buildScratchPool = sync.Pool{New: func() any {
-	return &buildScratch{
-		leafPos:   make([]int32, maxCachedLeaves),
-		leafEpoch: make([]uint32, maxCachedLeaves),
-		pairID:    make([]int32, maxCachedLeaves*maxCachedLeaves),
-		pairEpoch: make([]uint32, maxCachedLeaves*maxCachedLeaves),
-		stepTag:   make([]uint32, maxCachedLeaves*maxCachedLeaves),
-		stepPos:   make([]int32, maxCachedLeaves*maxCachedLeaves),
+var buildScratchPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
+// ensureLeaves sizes the per-leaf arrays for a layout with l leaves.
+func (sc *buildScratch) ensureLeaves(l int) {
+	if len(sc.leafPos) < l {
+		sc.leafPos = make([]int32, l)
+		sc.leafEpoch = make([]uint32, l)
 	}
-}}
+}
+
+// ensurePairs sizes the compact pair arrays for n touched leaves.
+func (sc *buildScratch) ensurePairs(n int) {
+	if len(sc.pairID) < n*n {
+		sc.pairID = make([]int32, n*n)
+		sc.pairEpoch = make([]uint32, n*n)
+		sc.stepTag = make([]uint32, n*n)
+		sc.stepPos = make([]int32, n*n)
+	}
+}
 
 // buildLeafSchedule compiles steps against the node list. It validates
 // pair ranks in exactly the reference loops' order (steps in order, pairs
@@ -157,6 +172,7 @@ var buildScratchPool = sync.Pool{New: func() any {
 func buildLeafSchedule(lay *cluster.Layout, nodes []int, steps []collective.Step) (*leafSchedule, error) {
 	sc := buildScratchPool.Get().(*buildScratch)
 	defer buildScratchPool.Put(sc)
+	sc.ensureLeaves(lay.L)
 	sc.epoch++
 	if sc.epoch == 0 { // wrapped: stale stamps could collide
 		clear(sc.leafEpoch)
@@ -185,6 +201,11 @@ func buildLeafSchedule(lay *cluster.Layout, nodes []int, steps []collective.Step
 			ls.counts[sc.leafPos[l]]++
 		}
 	}
+	// The pair index is compact: pairs are keyed by the touched-leaf
+	// positions just assigned, never by real leaf indices, so the scratch
+	// is O(touched²) whatever the machine size.
+	nTouched := len(ls.leaves)
+	sc.ensurePairs(nTouched)
 
 	var prevPairs *collective.Pair
 	for sIdx := range steps {
@@ -218,7 +239,7 @@ func buildLeafSchedule(lay *cluster.Layout, nodes []int, steps []collective.Step
 			if lo > hi {
 				lo, hi = hi, lo
 			}
-			pidx := int(lo)*maxCachedLeaves + int(hi)
+			pidx := int(sc.leafPos[lo])*nTouched + int(sc.leafPos[hi])
 			if sc.pairEpoch[pidx] != sc.epoch {
 				sc.pairEpoch[pidx] = sc.epoch
 				sc.pairID[pidx] = int32(len(ls.pairLi))
@@ -244,20 +265,21 @@ func buildLeafSchedule(lay *cluster.Layout, nodes []int, steps []collective.Step
 // same association order), so kernel and reference evaluations are
 // bit-identical.
 func leafHops(st *cluster.State, lay *cluster.Layout, li, lj int32) float64 {
-	idx := int(li)*lay.L + int(lj)
-	d := lay.Dist[idx]
+	d := lay.Dist(li, lj)
 	if li == lj {
 		return d * (1 + st.CommShare(int(li)))
 	}
-	shared := 0.5 * float64(st.LeafComm(int(li))+st.LeafComm(int(lj))) / lay.PairSize[idx]
+	shared := 0.5 * float64(st.LeafComm(int(li))+st.LeafComm(int(lj))) / lay.PairSize(li, lj)
 	return d * (1 + (st.CommShare(int(li)) + st.CommShare(int(lj)) + shared))
 }
 
 // evalScratch holds one evaluation's mutable state: the prefilled per-pair
 // Hops values, the candidate overlay (leaf-indexed comm counts and shares,
 // epoch-stamped so they reset in O(touched leaves)), and the duplicate-node
-// mark used by candidate validation. Pooled so evaluation allocates
-// nothing; distinct concurrent evaluations draw distinct instances.
+// mark used by candidate validation. The overlay arrays are arenas sized
+// off the layout (grown on demand, then pooled), so large-L costing stays
+// zero-alloc in the steady state; distinct concurrent evaluations draw
+// distinct instances.
 type evalScratch struct {
 	pairVal []float64
 	ovComm  []int
@@ -268,19 +290,25 @@ type evalScratch struct {
 	markGen uint64
 }
 
-var evalScratchPool = sync.Pool{New: func() any {
-	return &evalScratch{
-		ovComm:  make([]int, maxCachedLeaves),
-		ovShare: make([]float64, maxCachedLeaves),
-		ovSet:   make([]uint32, maxCachedLeaves),
+var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// ensureLeaves sizes the overlay arenas for a layout with l leaves.
+// Growing discards the old stamps; the fresh zeroed ovSet reads as stale
+// against the monotone ovEpoch, exactly like an epoch bump.
+func (sc *evalScratch) ensureLeaves(l int) {
+	if len(sc.ovSet) < l {
+		sc.ovComm = make([]int, l)
+		sc.ovShare = make([]float64, l)
+		sc.ovSet = make([]uint32, l)
 	}
-}}
+}
 
 // beginOverlay installs the schedule's leaf histogram as a comm-counter
 // overlay: leaf l reads as L_comm(l) + c_l, with the share recomputed by
 // the same division State.updateShare would store after a real Allocate —
 // so overlay costing is bit-identical to tentative allocation.
 func (sc *evalScratch) beginOverlay(st *cluster.State, lay *cluster.Layout, ls *leafSchedule) {
+	sc.ensureLeaves(lay.L)
 	sc.ovEpoch++
 	if sc.ovEpoch == 0 { // wrapped: stale stamps could collide
 		clear(sc.ovSet)
@@ -301,8 +329,7 @@ func (sc *evalScratch) overlayHops(st *cluster.State, lay *cluster.Layout, li, l
 	if sc.ovSet[li] == sc.ovEpoch {
 		commI, shareI = sc.ovComm[li], sc.ovShare[li]
 	}
-	idx := int(li)*lay.L + int(lj)
-	d := lay.Dist[idx]
+	d := lay.Dist(li, lj)
 	if li == lj {
 		return d * (1 + shareI)
 	}
@@ -310,7 +337,7 @@ func (sc *evalScratch) overlayHops(st *cluster.State, lay *cluster.Layout, li, l
 	if sc.ovSet[lj] == sc.ovEpoch {
 		commJ, shareJ = sc.ovComm[lj], sc.ovShare[lj]
 	}
-	shared := 0.5 * float64(commI+commJ) / lay.PairSize[idx]
+	shared := 0.5 * float64(commI+commJ) / lay.PairSize(li, lj)
 	return d * (1 + (shareI + shareJ + shared))
 }
 
@@ -364,11 +391,21 @@ func (ls *leafSchedule) eval(st *cluster.State, overlay, hopBytes bool, baseMsgS
 }
 
 // evalDistance is eval for the distance-only ablation: per-step max of
-// d(i,j) with no contention term. Layout distances are exact conversions
-// of the reference's integer distances, so the float max equals the
-// reference's converted integer max bit for bit.
+// d(i,j) with no contention term. Distances are prefilled once per
+// distinct leaf pair (they are derived on demand from the layout's
+// ancestor chains, so one walk per pair, not one per step reference);
+// each is the exact conversion of the reference's integer distance, so
+// the float max equals the reference's converted integer max bit for bit.
 func (ls *leafSchedule) evalDistance() float64 {
 	lay := ls.lay
+	sc := evalScratchPool.Get().(*evalScratch)
+	if cap(sc.pairVal) < len(ls.pairLi) {
+		sc.pairVal = make([]float64, len(ls.pairLi))
+	}
+	pv := sc.pairVal[:len(ls.pairLi)]
+	for p := range pv {
+		pv[p] = lay.Dist(ls.pairLi[p], ls.pairLj[p])
+	}
 	total, prevMax := 0.0, 0.0
 	for s := 0; s < ls.nSteps; s++ {
 		var max float64
@@ -379,7 +416,7 @@ func (ls *leafSchedule) evalDistance() float64 {
 			max = prevMax
 		default:
 			for _, id := range ls.ids[ls.off[s]:ls.off[s+1]] {
-				if v := lay.Dist[int(ls.pairLi[id])*lay.L+int(ls.pairLj[id])]; v > max {
+				if v := pv[id]; v > max {
 					max = v
 				}
 			}
@@ -387,6 +424,7 @@ func (ls *leafSchedule) evalDistance() float64 {
 		}
 		total += max
 	}
+	evalScratchPool.Put(sc)
 	return total
 }
 

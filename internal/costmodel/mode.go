@@ -67,9 +67,6 @@ func JobCostMode(st *cluster.State, nodes []int, steps []collective.Step, mode M
 			return 0, nil
 		}
 		lay := cluster.LayoutOf(st.Topology())
-		if lay == nil {
-			return jobCostDistanceRef(st, nodes, steps)
-		}
 		ls, err := leafSchedFor(lay, nodes, steps)
 		if err != nil {
 			return 0, err
@@ -125,9 +122,6 @@ func CandidateCostMode(st *cluster.State, job cluster.JobID, class cluster.Class
 		return candidateCostModeRef(st, job, class, nodes, p, mode)
 	}
 	lay := cluster.LayoutOf(st.Topology())
-	if lay == nil {
-		return candidateCostModeRef(st, job, class, nodes, p, mode)
-	}
 	if err := validateCandidate(st, job, nodes); err != nil {
 		return 0, fmt.Errorf("costmodel: candidate allocate: %w", err)
 	}

@@ -20,52 +20,72 @@ func SetReferenceMode(on bool) { referenceMode.Store(on) }
 // ReferenceMode reports whether the reference (uncached) path is active.
 func ReferenceMode() bool { return referenceMode.Load() }
 
-// maxCachedLeaves bounds the leaf-pair matrix, matching the flat layout's
-// ceiling: the largest evaluated machine (Mira) has 128 leaf switches;
-// topologies with more leaves fall back to the uncached path rather than
-// grow the matrix.
-const maxCachedLeaves = cluster.MaxLayoutLeaves
+// denseLeaves bounds the flat leaf-pair block of the cache: layouts up to
+// cluster.DensePairLeaves leaves (the largest evaluated machine, Mira) use
+// a fixed L×L matrix; larger layouts use the sparse epoch-stamped table
+// below, sized by the pairs actually touched rather than L².
+const denseLeaves = cluster.DensePairLeaves
 
 // pairCache memoizes live Hops per leaf-switch pair for one
 // (state, generation) era. Eq. 5's Hops(i,j) = d(i,j)·(1+C(i,j)) depends
 // on nodes i ≠ j only through their leaves — d is twice the leaves'
 // lowest-common-switch level and C reads per-leaf counters — so a
-// schedule's distinct leaf pairs need one Hops computation each. The
-// matrix is indexed by real leaf indices (the same ids the leaf-aggregated
-// schedule stores). Entries are invalidated wholesale by bumping epoch
-// when the state pointer or its Generation() changes (any allocate,
-// release, drain or resume), never cleared: per-entry epoch stamps make
-// stale slots misses. Caches are pooled and reused across calls, so
-// evaluations against an unchanged state (e.g. rank-remapping's hill
-// climb) share one warm matrix; concurrent evaluations draw distinct
-// pooled instances, so the memo is never shared between goroutines.
+// schedule's distinct leaf pairs need one Hops computation each. Entries
+// are invalidated wholesale by bumping epoch when the state pointer or its
+// Generation() changes (any allocate, release, drain or resume), never
+// cleared: per-entry epoch stamps make stale slots misses. Caches are
+// pooled and reused across calls, so evaluations against an unchanged
+// state (e.g. rank-remapping's hill climb) share one warm store;
+// concurrent evaluations draw distinct pooled instances, so the memo is
+// never shared between goroutines.
+//
+// Storage is blocked by layout size. Dense block (≤ denseLeaves leaves):
+// a flat matrix indexed by real leaf pair, one load per hit. Sparse block
+// (larger layouts): an open-addressing table keyed by the packed pair,
+// grown by doubling and O(live entries) to rehash — schedules touch a
+// handful of leaves, so the table stays small however many leaves the
+// machine has.
 type pairCache struct {
 	st    *cluster.State
 	lay   *cluster.Layout
 	gen   uint64
 	epoch uint32
 
+	// Dense block, allocated on first use against a small layout.
 	hops      []float64
 	hopsEpoch []uint32
+
+	// Sparse block, allocated on first use against a large layout.
+	keys     []uint64 // packed li<<32|lj per slot
+	keyEpoch []uint32 // slot live iff keyEpoch[s] == epoch
+	vals     []float64
+	live     int // live entries this epoch, for the growth trigger
 }
 
 var pairCachePool = sync.Pool{New: func() any { return new(pairCache) }}
 
 // acquirePairCache returns a cache bound to st's current generation.
 // Callers must release the cache and must not mutate st while holding it.
-// The layout must be st's topology's (non-nil, so NumLeaves fits the
-// matrix).
+// The layout must be st's topology's.
 func acquirePairCache(st *cluster.State, lay *cluster.Layout) *pairCache {
 	c := pairCachePool.Get().(*pairCache)
-	if c.hops == nil {
-		c.hops = make([]float64, maxCachedLeaves*maxCachedLeaves)
-		c.hopsEpoch = make([]uint32, maxCachedLeaves*maxCachedLeaves)
+	if lay.L <= denseLeaves {
+		if c.hops == nil {
+			c.hops = make([]float64, denseLeaves*denseLeaves)
+			c.hopsEpoch = make([]uint32, denseLeaves*denseLeaves)
+		}
+	} else if c.keys == nil {
+		c.keys = make([]uint64, sparseInitSlots)
+		c.keyEpoch = make([]uint32, sparseInitSlots)
+		c.vals = make([]float64, sparseInitSlots)
 	}
 	if c.st != st || c.lay != lay || c.gen != st.Generation() {
 		c.st, c.lay, c.gen = st, lay, st.Generation()
+		c.live = 0
 		c.epoch++
 		if c.epoch == 0 { // epoch wrapped: stale stamps could collide
 			clear(c.hopsEpoch)
+			clear(c.keyEpoch)
 			c.epoch = 1
 		}
 	}
@@ -77,12 +97,73 @@ func (c *pairCache) release() { pairCachePool.Put(c) }
 // at returns Hops between leaves li ≤ lj, computing it via leafHops on
 // first touch so cached and uncached evaluations are bit-identical.
 func (c *pairCache) at(li, lj int32) float64 {
-	idx := int(li)*maxCachedLeaves + int(lj)
-	if c.hopsEpoch[idx] == c.epoch {
-		return c.hops[idx]
+	if c.lay.L <= denseLeaves {
+		idx := int(li)*denseLeaves + int(lj)
+		if c.hopsEpoch[idx] == c.epoch {
+			return c.hops[idx]
+		}
+		v := leafHops(c.st, c.lay, li, lj)
+		c.hops[idx] = v
+		c.hopsEpoch[idx] = c.epoch
+		return v
+	}
+	return c.atSparse(li, lj)
+}
+
+// sparseInitSlots is the sparse table's starting capacity (slots, power of
+// two). Most schedules touch well under a hundred distinct leaf pairs;
+// the table doubles when half full.
+const sparseInitSlots = 1024
+
+// pairSlot is the Fibonacci-hash home slot for a packed pair key in a
+// power-of-two table: the multiply mixes the pair into the upper bits,
+// which the shift brings down before masking.
+func pairSlot(key, mask uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15 >> 32) & mask
+}
+
+// atSparse is the open-addressing path for layouts past the dense block.
+func (c *pairCache) atSparse(li, lj int32) float64 {
+	key := uint64(uint32(li))<<32 | uint64(uint32(lj))
+	mask := uint64(len(c.keys) - 1)
+	s := pairSlot(key, mask)
+	for c.keyEpoch[s] == c.epoch {
+		if c.keys[s] == key {
+			return c.vals[s]
+		}
+		s = (s + 1) & mask
 	}
 	v := leafHops(c.st, c.lay, li, lj)
-	c.hops[idx] = v
-	c.hopsEpoch[idx] = c.epoch
+	c.keys[s] = key
+	c.keyEpoch[s] = c.epoch
+	c.vals[s] = v
+	c.live++
+	if c.live*2 >= len(c.keys) {
+		c.growSparse()
+	}
 	return v
+}
+
+// growSparse doubles the sparse table, re-inserting the current epoch's
+// live entries (stale slots are dropped — they were already misses).
+func (c *pairCache) growSparse() {
+	oldKeys, oldEpoch, oldVals := c.keys, c.keyEpoch, c.vals
+	n := 2 * len(oldKeys)
+	c.keys = make([]uint64, n)
+	c.keyEpoch = make([]uint32, n)
+	c.vals = make([]float64, n)
+	mask := uint64(n - 1)
+	for i, e := range oldEpoch {
+		if e != c.epoch {
+			continue
+		}
+		key := oldKeys[i]
+		s := pairSlot(key, mask)
+		for c.keyEpoch[s] == c.epoch {
+			s = (s + 1) & mask
+		}
+		c.keys[s] = key
+		c.keyEpoch[s] = c.epoch
+		c.vals[s] = oldVals[i]
+	}
 }

@@ -1,0 +1,94 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// TestPairCacheSparseGrowth drives the sparse pair table past its growth
+// trigger on a beyond-threshold layout: every value must equal leafHops
+// bit for bit on first touch (miss), after the table doubles (rehash),
+// and on re-read (hit). 820 distinct pairs against 1024 initial slots
+// forces at least one growSparse.
+func TestPairCacheSparseGrowth(t *testing.T) {
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{200}})
+	st := cluster.New(topo)
+	if err := st.Allocate(1, cluster.CommIntensive, []int{0, 1, 7, 399}); err != nil {
+		t.Fatal(err)
+	}
+	lay := cluster.LayoutOf(topo)
+	if lay.L <= cluster.DensePairLeaves {
+		t.Fatalf("fixture layout has %d leaves, inside the dense block", lay.L)
+	}
+	c := acquirePairCache(st, lay)
+	defer c.release()
+	const span = 40 // span*(span+1)/2 = 820 pairs > sparseInitSlots/2
+	for li := int32(0); li < span; li++ {
+		for lj := li; lj < span; lj++ {
+			got, want := c.at(li, lj), leafHops(st, lay, li, lj)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("miss at(%d,%d) = %v, want %v", li, lj, got, want)
+			}
+		}
+	}
+	if len(c.keys) <= sparseInitSlots {
+		t.Fatalf("table holds %d slots after %d inserts; growSparse never ran",
+			len(c.keys), span*(span+1)/2)
+	}
+	for li := int32(0); li < span; li++ {
+		for lj := li; lj < span; lj++ {
+			got, want := c.at(li, lj), leafHops(st, lay, li, lj)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("hit at(%d,%d) = %v, want %v", li, lj, got, want)
+			}
+		}
+	}
+}
+
+// TestPairCacheSparseInvalidation pins the epoch contract on the sparse
+// block: a generation bump must make every cached entry a miss, and the
+// recomputed values must track the mutated counters.
+func TestPairCacheSparseInvalidation(t *testing.T) {
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{150}})
+	st := cluster.New(topo)
+	lay := cluster.LayoutOf(topo)
+	c := acquirePairCache(st, lay)
+	before := c.at(0, 149)
+	c.release()
+	// Loading leaf 149 changes Hops(0,149): a stale hit would return the
+	// pre-allocation value.
+	if err := st.Allocate(2, cluster.CommIntensive, []int{298, 299}); err != nil {
+		t.Fatal(err)
+	}
+	c = acquirePairCache(st, lay)
+	defer c.release()
+	after, want := c.at(0, 149), leafHops(st, lay, 0, 149)
+	if math.Float64bits(after) != math.Float64bits(want) {
+		t.Fatalf("post-churn at(0,149) = %v, want %v", after, want)
+	}
+	if after == before {
+		t.Fatalf("at(0,149) = %v unchanged across allocation; stale entry served", after)
+	}
+}
+
+// TestReferenceModeAccessors pins the mode accessors the harness and the
+// path indicator read.
+func TestReferenceModeAccessors(t *testing.T) {
+	if ReferenceMode() {
+		t.Fatal("reference mode on at test start")
+	}
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{4}})
+	st := cluster.New(topo)
+	if !CandidateCostReadOnly(st) {
+		t.Fatal("candidate costing not read-only on the fast path")
+	}
+	SetReferenceMode(true)
+	if !ReferenceMode() || CandidateCostReadOnly(st) {
+		SetReferenceMode(false)
+		t.Fatal("reference mode not reflected by the accessors")
+	}
+	SetReferenceMode(false)
+}

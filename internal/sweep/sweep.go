@@ -13,12 +13,14 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -79,74 +81,113 @@ type Point struct {
 	CommFraction float64
 	CommShare    float64
 	Algorithm    core.Algorithm
-	Summary      metrics.Summary
+	// Kernel records the cost-evaluation path (costmodel.KernelPath) the
+	// cell ran under — "fast" for the leaf-aggregated kernel, "reference"
+	// for the uncached loops — so sweep output is auditable: a sweep that
+	// silently ran the O(P log P) reference path is distinguishable from
+	// one that ran the kernel it is benchmarking.
+	Kernel  string
+	Summary metrics.Summary
 }
 
-// Run executes the grid, in parallel, in deterministic output order.
-func Run(g Grid) ([]Point, error) {
-	g = g.withDefaults()
-	points := make([]Point, g.Size())
-	sem := make(chan struct{}, g.Parallelism)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
+// cell is one expanded grid coordinate: the work item the sharded runner
+// hands to a worker, carrying everything the cell needs except the
+// machine-shared trace and topology.
+type cell struct {
+	preset workload.Preset
+	topo   *topology.Topology
+	trace  workload.Trace
+	pat    collective.Pattern
+	frac   float64
+	share  float64
+	alg    core.Algorithm
+}
 
-	// The topology is built once per machine and shared across that
-	// machine's cells: building Mira's 49K-node tree per cell would
-	// dominate the sweep.
-	idx := 0
+// expand materialises the grid in its deterministic output order. The
+// topology is built and the trace synthesized once per machine and shared
+// across that machine's cells — building Mira's 49K-node tree per cell
+// would dominate the sweep, and Tag copies the job slice so concurrent
+// cells never share mutable state.
+func expand(g Grid) []cell {
+	cells := make([]cell, 0, g.Size())
 	for _, preset := range g.Machines {
-		preset := preset
 		topo := preset.NewTopology()
+		trace := preset.Synthesize(g.Jobs, g.Seed)
 		for _, pat := range g.Patterns {
-			pat := pat
 			for _, frac := range g.CommFractions {
-				frac := frac
 				for _, share := range g.CommShares {
-					share := share
 					for _, alg := range g.Algorithms {
-						alg := alg
-						i := idx
-						idx++
-						wg.Add(1)
-						go func() {
-							defer wg.Done()
-							sem <- struct{}{}
-							defer func() { <-sem }()
-							trace := preset.Synthesize(g.Jobs, g.Seed)
-							tagged, err := trace.Tag(frac, collective.SinglePattern(pat, share), g.Seed+17)
-							if err == nil {
-								var res *sim.Result
-								res, err = sim.RunContinuousValidated(sim.Config{
-									Topology: topo, Algorithm: alg,
-									CostMode: g.CostMode, Policy: g.Policy,
-								}, tagged)
-								if err == nil {
-									mu.Lock()
-									points[i] = Point{
-										Machine: preset.Name, Pattern: pat,
-										CommFraction: frac, CommShare: share,
-										Algorithm: alg, Summary: res.Summary,
-									}
-									mu.Unlock()
-									return
-								}
-							}
-							mu.Lock()
-							if firstErr == nil {
-								firstErr = fmt.Errorf("sweep %s/%v/%.2f/%.2f/%v: %w",
-									preset.Name, pat, frac, share, alg, err)
-							}
-							mu.Unlock()
-						}()
+						cells = append(cells, cell{
+							preset: preset, topo: topo, trace: trace,
+							pat: pat, frac: frac, share: share, alg: alg,
+						})
 					}
 				}
 			}
 		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	return cells
+}
+
+// Run executes the grid sharded across a bounded worker pool, in
+// deterministic output order. Cells are independent simulations, so
+// results are identical at every parallelism; on failure the error of the
+// lowest-indexed failing cell is returned, wrapped with the cell's grid
+// coordinates — the same first failure the sequential loop would report,
+// regardless of goroutine scheduling.
+func Run(g Grid) ([]Point, error) {
+	g = g.withDefaults()
+	cells := expand(g)
+	points := make([]Point, len(cells))
+	errs := make([]error, len(cells))
+	runCell := func(i int) {
+		c := cells[i]
+		tagged, err := c.trace.Tag(c.frac, collective.SinglePattern(c.pat, c.share), g.Seed+17)
+		var res *sim.Result
+		if err == nil {
+			res, err = sim.RunContinuousValidated(sim.Config{
+				Topology: c.topo, Algorithm: c.alg,
+				CostMode: g.CostMode, Policy: g.Policy,
+			}, tagged)
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("sweep %s/%v/%.2f/%.2f/%v: %w",
+				c.preset.Name, c.pat, c.frac, c.share, c.alg, err)
+			return
+		}
+		points[i] = Point{
+			Machine: c.preset.Name, Pattern: c.pat,
+			CommFraction: c.frac, CommShare: c.share,
+			Algorithm: c.alg, Kernel: costmodel.KernelPath(),
+			Summary: res.Summary,
+		}
+	}
+	if workers := min(g.Parallelism, len(cells)); workers <= 1 {
+		for i := range cells {
+			runCell(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cells) {
+						return
+					}
+					runCell(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return points, nil
 }
@@ -157,6 +198,7 @@ func Run(g Grid) ([]Point, error) {
 func WriteCSV(w io.Writer, points []Point) error {
 	cw := csv.NewWriter(w)
 	header := []string{"machine", "pattern", "comm_fraction", "comm_share", "algorithm",
+		"cost_kernel",
 		"total_exec_hours", "total_wait_hours", "avg_turnaround_hours",
 		"total_node_hours", "avg_comm_cost", "makespan_hours",
 		"exec_improvement_pct"}
@@ -185,6 +227,7 @@ func WriteCSV(w io.Writer, points []Point) error {
 			strconv.FormatFloat(p.CommFraction, 'g', -1, 64),
 			strconv.FormatFloat(p.CommShare, 'g', -1, 64),
 			p.Algorithm.String(),
+			p.Kernel,
 			fmtF(p.Summary.TotalExecHours), fmtF(p.Summary.TotalWaitHours),
 			fmtF(p.Summary.AvgTurnaroundHours), fmtF(p.Summary.TotalNodeHours),
 			fmtF(p.Summary.AvgCommCost), fmtF(p.Summary.MakespanHours),

@@ -3,7 +3,9 @@ package sweep
 import (
 	"bytes"
 	"encoding/csv"
+	"runtime"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/collective"
@@ -111,5 +113,64 @@ func TestRunGridError(t *testing.T) {
 	g.CommFractions = []float64{2.0} // invalid tag fraction
 	if _, err := Run(g); err == nil {
 		t.Fatal("invalid fraction accepted")
+	}
+}
+
+// TestRunGridParallelismByteIdentical is the sharding determinism
+// property: the same grid serialized after runs at parallelism 1, 4 and
+// NumCPU must produce byte-identical CSV. Cells are independent
+// simulations collected in expansion order, so the worker count is a
+// wall-clock knob only; any divergence means a cell observed another
+// cell's state.
+func TestRunGridParallelismByteIdentical(t *testing.T) {
+	var outputs []string
+	for _, parallel := range []int{1, 4, runtime.NumCPU()} {
+		g := smallGrid()
+		g.Parallelism = parallel
+		points, err := Run(g)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallel, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, points); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("CSV differs between parallelism 1 and %d:\n%s\nvs\n%s",
+				[]int{1, 4, runtime.NumCPU()}[i], outputs[0], outputs[i])
+		}
+	}
+}
+
+// TestRunGridDeterministicFirstFailure pins the failure contract: with
+// several failing cells in flight, Run reports the lowest-indexed failing
+// cell — the same failure the sequential loop would hit first — at every
+// parallelism, wrapped with that cell's grid coordinates.
+func TestRunGridDeterministicFirstFailure(t *testing.T) {
+	var msgs []string
+	for _, parallel := range []int{1, 4, runtime.NumCPU()} {
+		g := smallGrid()
+		// Fractions beyond 1 fail tagging; every (pattern, 2.0/3.0, alg)
+		// cell errors, the valid 0.3 cells do not.
+		g.CommFractions = []float64{0.3, 2.0, 3.0}
+		g.Parallelism = parallel
+		_, err := Run(g)
+		if err == nil {
+			t.Fatalf("parallelism %d: invalid fractions accepted", parallel)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	// The first failing cell in expansion order is the first pattern at
+	// fraction 2.0 with the first algorithm.
+	if !strings.Contains(msgs[0], "sweep Theta/RD/2.00/0.70/default") {
+		t.Fatalf("first failure lacks lowest-cell coordinates: %s", msgs[0])
+	}
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i] != msgs[0] {
+			t.Fatalf("first failure differs across parallelism:\n%s\nvs\n%s", msgs[0], msgs[i])
+		}
 	}
 }

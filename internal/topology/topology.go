@@ -50,9 +50,15 @@ type Topology struct {
 	nodeIndex map[string]int
 	nodeLeaf  []int // node ID -> leaf index
 
-	// lcaLevel[i*len(Leaves)+j] is the level of the lowest common switch of
-	// leaves i and j. Precomputed; len(Leaves) is small (tens to hundreds).
-	lcaLevel []int8
+	// leafAnc holds, for every leaf, its ancestor chain leaf → root as
+	// switch indexes (leaf i's chain is leafAnc[leafAncOff[i]:leafAncOff[i+1]]);
+	// swLevel is each switch's level by index. Together they answer
+	// lowest-common-switch queries in O(height) from per-leaf data alone —
+	// O(L·height) storage instead of the dense L×L level matrix, which is
+	// what lets layouts scale to dragonfly-sized leaf counts.
+	leafAnc    []int32
+	leafAncOff []int32
+	swLevel    []int32
 }
 
 // NumNodes returns the number of compute nodes.
@@ -92,9 +98,26 @@ func (t *Topology) CommonSwitchLevel(i, j int) int {
 }
 
 // LeafCommonLevel returns the level of the lowest common switch of two
-// leaves (by leaf index).
+// leaves (by leaf index). The two ancestor chains share a common suffix
+// ending at the root; the walk backs down that suffix to its deepest
+// element, so the query is O(height) with no per-pair storage.
 func (t *Topology) LeafCommonLevel(li, lj int) int {
-	return int(t.lcaLevel[li*len(t.Leaves)+lj])
+	if li == lj {
+		return 1
+	}
+	a := t.leafAnc[t.leafAncOff[li]:t.leafAncOff[li+1]]
+	b := t.leafAnc[t.leafAncOff[lj]:t.leafAncOff[lj+1]]
+	i, j := len(a)-1, len(b)-1
+	if a[i] != b[j] {
+		// Disconnected forests are rejected by validate via the root walk,
+		// but be defensive: treat as joined above the root.
+		return int(^uint(0) >> 1)
+	}
+	for i > 0 && j > 0 && a[i-1] == b[j-1] {
+		i--
+		j--
+	}
+	return int(t.swLevel[a[i]])
 }
 
 // Distance returns the paper's d(i,j) = 2 * level of the lowest common
@@ -162,7 +185,7 @@ func build(root *Switch, leaves []*Switch, nodeOrder []string, nodeLeaf []int) (
 	if err := t.validate(); err != nil {
 		return nil, err
 	}
-	t.precomputeLCA()
+	t.buildAncestry()
 	return t, nil
 }
 
@@ -212,38 +235,23 @@ func (t *Topology) validate() error {
 	return nil
 }
 
-func (t *Topology) precomputeLCA() {
-	n := len(t.Leaves)
-	t.lcaLevel = make([]int8, n*n)
-	// ancestors[i] is the chain leaf -> root for leaf i.
-	ancestors := make([][]*Switch, n)
+// buildAncestry flattens each leaf's parent chain into the per-leaf
+// ancestor arrays LeafCommonLevel walks. O(L·height) time and space — the
+// only per-topology precomputation, so building a 4096-leaf tree costs
+// milliseconds where the former dense L×L level matrix cost minutes.
+func (t *Topology) buildAncestry() {
+	t.swLevel = make([]int32, len(t.Switches))
+	for _, s := range t.Switches {
+		t.swLevel[s.Index] = int32(s.Level)
+	}
+	t.leafAncOff = make([]int32, len(t.Leaves)+1)
 	for i, leaf := range t.Leaves {
+		t.leafAncOff[i] = int32(len(t.leafAnc))
 		for s := leaf; s != nil; s = s.Parent {
-			ancestors[i] = append(ancestors[i], s)
+			t.leafAnc = append(t.leafAnc, int32(s.Index))
 		}
 	}
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			lvl := commonLevel(ancestors[i], ancestors[j])
-			t.lcaLevel[i*n+j] = int8(lvl)
-			t.lcaLevel[j*n+i] = int8(lvl)
-		}
-	}
-}
-
-func commonLevel(a, b []*Switch) int {
-	inA := make(map[*Switch]bool, len(a))
-	for _, s := range a {
-		inA[s] = true
-	}
-	for _, s := range b {
-		if inA[s] {
-			return s.Level
-		}
-	}
-	// Disconnected forests are rejected by validate via the root walk, but
-	// be defensive: treat as joined above the root.
-	return int(^uint(0) >> 1)
+	t.leafAncOff[len(t.Leaves)] = int32(len(t.leafAnc))
 }
 
 // LeafNodes returns the node IDs attached to leaf l. The returned slice is

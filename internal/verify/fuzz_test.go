@@ -1,7 +1,13 @@
 package verify
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/topology"
 )
 
 // FuzzRunContinuous feeds the differential harness fuzzer-chosen (trace
@@ -24,6 +30,57 @@ func FuzzRunContinuous(f *testing.F) {
 		if err := DifferentialConfigs(spec, []RunConfig{cfg}); err != nil {
 			t.Fatal(err)
 		}
+	})
+}
+
+// FuzzLayoutScale hands fuzzer-chosen machine shapes — leaf counts on
+// both sides of the 128-leaf dense-block threshold, two- and three-level
+// trees, varying leaf widths — to the fast/reference parity check: random
+// resident load, then bit-identical JobCost/CandidateCost (all modes) on
+// cross-machine jobs. This is the cross-scale parity property with the
+// shape under fuzzer control instead of a fixed list; the corpus seeds
+// pin both threshold neighbours and a far-past-threshold shape.
+func FuzzLayoutScale(f *testing.F) {
+	f.Add(uint16(126), uint8(1), uint8(2), int64(1))
+	f.Add(uint16(129), uint8(1), uint8(2), int64(2))
+	f.Add(uint16(64), uint8(3), uint8(1), int64(3)) // 192 leaves, three-level
+	f.Add(uint16(500), uint8(1), uint8(2), int64(4))
+	f.Fuzz(func(t *testing.T, leavesRaw uint16, podsRaw, nplRaw uint8, seed int64) {
+		leaves := 2 + int(leavesRaw)%600
+		pods := 1 + int(podsRaw)%3
+		npl := 1 + int(nplRaw)%3
+		fanouts := []int{leaves}
+		if pods > 1 {
+			fanouts = []int{leaves, pods}
+		}
+		topo, err := topology.Generate(topology.Spec{NodesPerLeaf: npl, Fanouts: fanouts})
+		if err != nil {
+			t.Skip() // degenerate shape
+		}
+		st := cluster.New(topo)
+		rng := rand.New(rand.NewSource(seed))
+
+		// Random resident load: a few comm jobs on scattered nodes.
+		var live []activeJob
+		patterns := []collective.Pattern{collective.RD, collective.Ring, collective.Binomial}
+		for j := 0; j < 3; j++ {
+			n := 2 + rng.Intn(15)
+			var nodes []int
+			for id := 0; id < topo.NumNodes() && len(nodes) < n; id++ {
+				if st.NodeFree(id) && rng.Intn(4) == 0 {
+					nodes = append(nodes, id)
+				}
+			}
+			if len(nodes) < 2 {
+				continue
+			}
+			id := cluster.JobID(100 + j)
+			if err := st.Allocate(id, cluster.CommIntensive, nodes); err != nil {
+				t.Fatalf("allocate: %v", err)
+			}
+			live = append(live, activeJob{id, nodes, patterns[j%len(patterns)]})
+		}
+		checkFastRefBitIdentical(t, st, live, fmt.Sprintf("npl=%d fanouts=%v", npl, fanouts), 0)
 	})
 }
 

@@ -22,75 +22,105 @@ import (
 // up as a float64 bit mismatch.
 func TestCacheInvalidationUnderChurn(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
-		spec := DefaultSpec(seed)
-		topo, trace, err := spec.Build()
-		if err != nil {
-			t.Fatalf("%v: %v", spec, err)
-		}
-		st := cluster.New(topo)
-		rng := rand.New(rand.NewSource(seed ^ 0xcac4e))
-		sel := core.MustNew(core.Greedy)
+		runChurnSpec(t, DefaultSpec(seed))
+	}
+}
 
-		var live []activeJob
-		next := 0
-		for op := 0; op < 120 && (next < len(trace.Jobs) || len(live) > 0); op++ {
-			mutated := false
-			if next < len(trace.Jobs) && (len(live) == 0 || rng.Float64() < 0.6) {
-				job := trace.Jobs[next]
-				nodes, serr := sel.Select(st, core.Request{
-					Job: job.ID, Nodes: job.Nodes, Class: job.Class, Pattern: jobPattern(job),
-				})
-				if serr == nil {
-					if err := st.Allocate(job.ID, job.Class, nodes); err != nil {
-						t.Fatalf("%v op %d: allocate: %v", spec, op, err)
-					}
-					live = append(live, activeJob{job.ID, nodes, jobPattern(job)})
-					next++
-					mutated = true
+// TestCacheInvalidationUnderChurnLargeTopology runs the same churn
+// property on machines past the 128-leaf dense-block threshold, where the
+// kernel's sparse pair cache and on-demand layout distances serve the fast
+// path. Before the sparse kernel these topologies silently fell back to
+// the reference loops, so churn never exercised the caches at this scale.
+func TestCacheInvalidationUnderChurnLargeTopology(t *testing.T) {
+	specs := []TraceSpec{
+		// Two-level tree, 150 leaves.
+		{Seed: 401, Jobs: 20, Leaves: 150, NodesPerLeaf: 2, Pods: 1,
+			CommFraction: 0.7, Load: 0.9},
+		// Three-level tree, 3 pods × 70 leaves = 210 leaves.
+		{Seed: 402, Jobs: 20, Leaves: 70, NodesPerLeaf: 2, Pods: 3,
+			CommFraction: 0.7, Load: 0.9},
+	}
+	for _, spec := range specs {
+		if lv := spec.Leaves * spec.Pods; lv <= cluster.DensePairLeaves {
+			t.Fatalf("spec %v has %d leaves, not beyond the dense threshold %d",
+				spec, lv, cluster.DensePairLeaves)
+		}
+		runChurnSpec(t, spec)
+	}
+}
+
+// runChurnSpec drives one spec's trace through interleaved
+// Allocate/Release/Drain/Resume churn, checking fast/reference
+// bit-identity and state invariants after every mutation.
+func runChurnSpec(t *testing.T, spec TraceSpec) {
+	t.Helper()
+	topo, trace, err := spec.Build()
+	if err != nil {
+		t.Fatalf("%v: %v", spec, err)
+	}
+	st := cluster.New(topo)
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0xcac4e))
+	sel := core.MustNew(core.Greedy)
+
+	var live []activeJob
+	next := 0
+	for op := 0; op < 120 && (next < len(trace.Jobs) || len(live) > 0); op++ {
+		mutated := false
+		if next < len(trace.Jobs) && (len(live) == 0 || rng.Float64() < 0.6) {
+			job := trace.Jobs[next]
+			nodes, serr := sel.Select(st, core.Request{
+				Job: job.ID, Nodes: job.Nodes, Class: job.Class, Pattern: jobPattern(job),
+			})
+			if serr == nil {
+				if err := st.Allocate(job.ID, job.Class, nodes); err != nil {
+					t.Fatalf("%v op %d: allocate: %v", spec, op, err)
 				}
-			}
-			if !mutated && len(live) > 0 {
-				i := rng.Intn(len(live))
-				if err := st.Release(live[i].id); err != nil {
-					t.Fatalf("%v op %d: release: %v", spec, op, err)
-				}
-				live = append(live[:i], live[i+1:]...)
+				live = append(live, activeJob{job.ID, nodes, jobPattern(job)})
+				next++
 				mutated = true
 			}
-			if !mutated {
-				continue
+		}
+		if !mutated && len(live) > 0 {
+			i := rng.Intn(len(live))
+			if err := st.Release(live[i].id); err != nil {
+				t.Fatalf("%v op %d: release: %v", spec, op, err)
 			}
-			// Drain/Resume bump the generation without touching comm
-			// counters — the cache must not serve entries across them
-			// either.
-			if rng.Float64() < 0.25 {
-				for id := 0; id < topo.NumNodes(); id++ {
-					if st.NodeFree(id) {
-						if err := st.Drain(id); err != nil {
-							t.Fatalf("%v op %d: drain: %v", spec, op, err)
-						}
-						if err := st.Resume(id); err != nil {
-							t.Fatalf("%v op %d: resume: %v", spec, op, err)
-						}
-						break
+			live = append(live[:i], live[i+1:]...)
+			mutated = true
+		}
+		if !mutated {
+			continue
+		}
+		// Drain/Resume bump the generation without touching comm
+		// counters — the cache must not serve entries across them
+		// either.
+		if rng.Float64() < 0.25 {
+			for id := 0; id < topo.NumNodes(); id++ {
+				if st.NodeFree(id) {
+					if err := st.Drain(id); err != nil {
+						t.Fatalf("%v op %d: drain: %v", spec, op, err)
 					}
+					if err := st.Resume(id); err != nil {
+						t.Fatalf("%v op %d: resume: %v", spec, op, err)
+					}
+					break
 				}
 			}
-			checkFastRefBitIdentical(t, st, live, spec.String(), op)
-			// Clones get their own cache key (the cache is keyed on the
-			// state pointer as well as the generation): a fresh clone must
-			// cost identically to its own reference, not inherit entries
-			// from the original.
-			if rng.Float64() < 0.2 {
-				checkFastRefBitIdentical(t, st.Clone(), live, spec.String()+" (clone)", op)
-			}
-			if err := st.CheckInvariants(); err != nil {
-				t.Fatalf("%v op %d: %v", spec, op, err)
-			}
 		}
-		if next == 0 {
-			t.Fatalf("%v: trace scheduled no jobs, property vacuous", spec)
+		checkFastRefBitIdentical(t, st, live, spec.String(), op)
+		// Clones get their own cache key (the cache is keyed on the
+		// state pointer as well as the generation): a fresh clone must
+		// cost identically to its own reference, not inherit entries
+		// from the original.
+		if rng.Float64() < 0.2 {
+			checkFastRefBitIdentical(t, st.Clone(), live, spec.String()+" (clone)", op)
 		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("%v op %d: %v", spec, op, err)
+		}
+	}
+	if next == 0 {
+		t.Fatalf("%v: trace scheduled no jobs, property vacuous", spec)
 	}
 }
 
