@@ -98,9 +98,11 @@ func run(machines, patterns, comm, commShare, algs string, jobs int, seed int64,
 		return err
 	}
 
-	// Name the cost-evaluation path up front: a sweep silently running the
-	// reference loops instead of the leaf-aggregated kernel (or vice versa)
-	// would be invisible in the numbers alone.
+	// Name the cost-evaluation path up front — "aggregated" (the default
+	// subtree-aggregated heuristic), "fast" (flat leaf-pair kernel only),
+	// or "reference": a sweep silently running the reference loops instead
+	// of the kernel it claims to benchmark (or vice versa) would be
+	// invisible in the numbers alone.
 	fmt.Fprintf(os.Stderr, "cawsweep: %d runs, cost kernel: %s\n", g.Size(), costmodel.KernelPath())
 	points, err := sweep.Run(g)
 	if err != nil {

@@ -3,8 +3,11 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/costmodel"
 )
 
 func TestRunSweep(t *testing.T) {
@@ -23,14 +26,68 @@ func TestRunSweep(t *testing.T) {
 		t.Fatalf("%d CSV lines, want 5", len(lines))
 	}
 	// Every data row must carry the kernel-path column so the sweep output
-	// records which cost path produced it.
+	// records which cost path produced it — "aggregated", the default
+	// policy with the subtree-aggregated stage armed.
 	if !strings.Contains(lines[0], "cost_kernel") {
 		t.Fatalf("header missing cost_kernel column: %s", lines[0])
 	}
 	for _, line := range lines[1:] {
-		if !strings.Contains(line, ",fast,") {
-			t.Fatalf("data row missing fast kernel marker: %s", line)
+		if !strings.Contains(line, ",aggregated,") {
+			t.Fatalf("data row missing aggregated kernel marker: %s", line)
 		}
+	}
+}
+
+// TestRunSweepKernelColumnExact pins the cost_kernel column cell by cell
+// at parallelism 1, 4, and NumCPU: every data row's column must equal
+// costmodel.KernelPath() exactly (not merely contain it), whatever the
+// worker-pool size — the column is recorded per cell by concurrent
+// workers, so a torn or stale read would surface here. It also covers the
+// toggled-off spelling: with aggregation disabled the same sweep must
+// report "fast" in every row.
+func TestRunSweepKernelColumnExact(t *testing.T) {
+	kernelColumn := func(t *testing.T, parallel int, want string) {
+		t.Helper()
+		out := filepath.Join(t.TempDir(), "sweep.csv")
+		err := run("Theta", "rd", "0.3,0.9", "0.7", "default,adaptive", 40, 1,
+			"effective-hops", "fifo", parallel, out)
+		if err != nil {
+			t.Fatalf("-parallel %d: %v", parallel, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		header := strings.Split(lines[0], ",")
+		col := -1
+		for i, name := range header {
+			if name == "cost_kernel" {
+				col = i
+			}
+		}
+		if col < 0 {
+			t.Fatalf("-parallel %d: no cost_kernel column in %q", parallel, lines[0])
+		}
+		for _, line := range lines[1:] {
+			fields := strings.Split(line, ",")
+			if len(fields) <= col {
+				t.Fatalf("-parallel %d: short row %q", parallel, line)
+			}
+			if fields[col] != want {
+				t.Fatalf("-parallel %d: cost_kernel = %q, want %q (row %q)",
+					parallel, fields[col], want, line)
+			}
+		}
+	}
+	for _, parallel := range []int{1, 4, runtime.NumCPU()} {
+		if got := costmodel.KernelPath(); got != "aggregated" {
+			t.Fatalf("KernelPath = %q before sweep, want \"aggregated\"", got)
+		}
+		kernelColumn(t, parallel, "aggregated")
+		costmodel.SetAggregationMode(false)
+		kernelColumn(t, parallel, "fast")
+		costmodel.SetAggregationMode(true)
 	}
 }
 

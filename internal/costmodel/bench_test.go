@@ -42,6 +42,78 @@ func BenchmarkJobCost512Leaves(b *testing.B) {
 			}
 		})
 	}
+
+	// The wide variant: a 512-rank alltoall with one rank on every leaf
+	// (quadratic distinct leaf pairs — the shape where flat costing is
+	// O(touched²)), on its own uniformly loaded state so cross-pod blocks
+	// collapse. "wide/opt" is the subtree-aggregated kernel, "wide/flat"
+	// the previous sparse leaf-pair kernel, "wide/ref" the uncached loops.
+	b.Run("wide", func(b *testing.B) {
+		wst := cluster.New(topo)
+		wnodes := make([]int, 512)
+		for i := range wnodes {
+			wnodes[i] = topo.LeafNodes(i)[0]
+		}
+		if err := wst.Allocate(1, cluster.CommIntensive, wnodes); err != nil {
+			b.Fatal(err)
+		}
+		benchKernelPaths(b, wst, wnodes, collective.Alltoall.MustSchedule(512))
+	})
+}
+
+// BenchmarkJobCost4096LeavesWide is the dragonfly-scale headline pair the
+// benchcmp gate pins: 4096 leaves in 64 pods of 64, a 1024-rank alltoall
+// striped across every fourth leaf (16 touched leaves in every pod, so
+// every cross-pod block is live), costed by the subtree-aggregated kernel
+// ("opt"), the flat sparse kernel ("flat" — the previous opt path), and
+// the reference loops ("ref"). The alltoall's XOR step structure puts
+// ~32 cross-pod blocks per step where the flat kernel scans 512 pairs,
+// which is where the ≥5× collapse comes from.
+func BenchmarkJobCost4096LeavesWide(b *testing.B) {
+	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{64, 64}})
+	st := cluster.New(topo)
+	nodes := make([]int, 1024)
+	for i := range nodes {
+		nodes[i] = topo.LeafNodes(4 * i % topo.NumLeaves())[0]
+	}
+	if err := st.Allocate(1, cluster.CommIntensive, nodes); err != nil {
+		b.Fatal(err)
+	}
+	steps := collective.Alltoall.MustSchedule(1024)
+	benchKernelPaths(b, st, nodes, steps)
+}
+
+// benchKernelPaths runs one JobCost fixture through the three evaluation
+// paths: the default aggregated kernel, the flat kernel (aggregation
+// off), and the reference loops. The fixture must be wide enough to
+// engage the aggregated stage — measuring the toggle without the stage
+// would silently benchmark the same code twice.
+func benchKernelPaths(b *testing.B, st *cluster.State, nodes []int, steps []collective.Step) {
+	b.Helper()
+	if agg, err := ScheduleAggregated(st, nodes, steps); err != nil || !agg {
+		b.Fatalf("fixture not on the aggregated path (agg=%v, err=%v)", agg, err)
+	}
+	for _, mode := range []struct {
+		name string
+		ref  bool
+		agg  bool
+	}{{"opt", false, true}, {"flat", false, false}, {"ref", true, true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			SetReferenceMode(mode.ref)
+			SetAggregationMode(mode.agg)
+			defer func() {
+				SetReferenceMode(false)
+				SetAggregationMode(true)
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := JobCost(st, nodes, steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkJobCost measures Eq. 6 over a 512-node recursive-doubling job

@@ -226,18 +226,25 @@ func CandidateCostReadOnly(st *cluster.State) bool {
 	return !referenceMode.Load()
 }
 
-// KernelPath names the cost-evaluation path currently in effect:
-// "fast" for the leaf-aggregated kernel (the default on every topology,
-// whatever its leaf count) or "reference" when SetReferenceMode has routed
-// evaluation through the uncached node-pair loops. The path is
-// process-global — there is no longer a per-topology size fallback — and
-// surfacing it, rather than silently falling back, is what lets sweeps
-// and operators verify large machines really run the O(L²) kernel.
+// KernelPath names the cost-evaluation policy currently in effect:
+// "aggregated" for the default — the subtree-aggregated kernel armed, so
+// schedules touching at least AggTouchedLeaves leaves on layouts with a
+// usable aggregation level collapse cross-subtree blocks while narrower
+// ones take the flat leaf-pair scans; "fast" when SetAggregationMode has
+// disabled the aggregation stage and every schedule runs the flat kernel;
+// "reference" when SetReferenceMode has routed evaluation through the
+// uncached node-pair loops. The path is process-global — there is no
+// per-topology size fallback — and surfacing it, rather than silently
+// falling back, is what lets sweeps and operators verify large machines
+// really run the kernel they are benchmarking.
 func KernelPath() string {
 	if referenceMode.Load() {
 		return "reference"
 	}
-	return "fast"
+	if aggregationOff.Load() {
+		return "fast"
+	}
+	return "aggregated"
 }
 
 // RuntimeRatio returns Cost_jobaware / Cost_default with the paper's

@@ -11,14 +11,15 @@ import (
 // TestKernelPathLargeTopology is the regression test for the silent
 // fallback: topologies past the dense-block threshold used to get no
 // layout and dropped invisibly onto the reference loops. The path
-// indicator must report the fast kernel at every scale, and costing a
-// cross-machine job at that scale must actually succeed through it.
+// indicator must report the default armed policy — the aggregated kernel
+// heuristic — at every scale, and costing a cross-machine job at that
+// scale must actually succeed through it.
 func TestKernelPathLargeTopology(t *testing.T) {
 	for _, leaves := range []int{8, cluster.DensePairLeaves, cluster.DensePairLeaves + 1, 512} {
 		topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{leaves}})
 		st := cluster.New(topo)
-		if got := KernelPath(); got != "fast" {
-			t.Fatalf("%d leaves: KernelPath = %q, want \"fast\"", leaves, got)
+		if got := KernelPath(); got != "aggregated" {
+			t.Fatalf("%d leaves: KernelPath = %q, want \"aggregated\"", leaves, got)
 		}
 		nodes := []int{0, topo.NumNodes() - 1}
 		steps, err := ScheduleFor(collective.RD, len(nodes))
@@ -43,5 +44,25 @@ func TestKernelPathReferenceMode(t *testing.T) {
 	defer SetReferenceMode(false)
 	if got := KernelPath(); got != "reference" {
 		t.Fatalf("KernelPath under reference mode = %q, want \"reference\"", got)
+	}
+}
+
+// TestKernelPathAggregationToggle pins the third indicator value: with
+// the aggregation stage toggled off the policy degrades to the flat
+// leaf-pair kernel and reports "fast"; reference mode outranks the
+// toggle either way.
+func TestKernelPathAggregationToggle(t *testing.T) {
+	SetAggregationMode(false)
+	defer SetAggregationMode(true)
+	if got := KernelPath(); got != "fast" {
+		t.Fatalf("KernelPath with aggregation off = %q, want \"fast\"", got)
+	}
+	if AggregationMode() {
+		t.Fatal("AggregationMode() = true after SetAggregationMode(false)")
+	}
+	SetReferenceMode(true)
+	defer SetReferenceMode(false)
+	if got := KernelPath(); got != "reference" {
+		t.Fatalf("KernelPath with aggregation off + reference mode = %q, want \"reference\"", got)
 	}
 }

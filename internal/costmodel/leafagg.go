@@ -68,6 +68,14 @@ type leafSchedule struct {
 	off            []int32
 	kind           []uint8
 	msg            []float64 // per-step MsgSize, for the hop-bytes variant
+
+	// agg is the subtree-aggregated evaluation stage (subtreeagg.go),
+	// compiled when the schedule is wide enough for the kernel heuristic
+	// and the layout has a usable aggregation level; nil keeps evaluation
+	// on the flat per-pair scans. Always compiled when applicable — the
+	// run-time toggle gates evaluation, not compilation, so flipping it
+	// never invalidates cached schedules.
+	agg *subtreeSchedule
 }
 
 // hashNodes fingerprints a node list (FNV-1a) for the schedule cache's
@@ -257,6 +265,7 @@ func buildLeafSchedule(lay *cluster.Layout, nodes []int, steps []collective.Step
 		}
 	}
 	ls.off[len(steps)] = int32(len(ls.ids))
+	ls.agg = buildSubtreeSchedule(lay, ls)
 	return ls, nil
 }
 
@@ -288,6 +297,16 @@ type evalScratch struct {
 	ovEpoch uint32
 	mark    []uint64
 	markGen uint64
+
+	// Aggregated-kernel arenas (subtreeagg.go): per touched subtree the
+	// uniformity pass's shared (comm, size) state and verdict, per
+	// cross-subtree block its collapsed value and non-uniform flag. Sized
+	// by ensureAgg, fully rewritten each evaluation (no stamps needed).
+	subComm    []int32
+	subSize    []int32
+	subUniform []bool
+	blockVal   []float64
+	blockNU    []bool
 }
 
 var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
@@ -347,6 +366,9 @@ func (sc *evalScratch) overlayHops(st *cluster.State, lay *cluster.Layout, li, l
 // computation per distinct pair — then each step takes the max over its
 // index list, so sums are reproducible regardless of caller concurrency.
 func (ls *leafSchedule) eval(st *cluster.State, overlay, hopBytes bool, baseMsgSize float64) float64 {
+	if ls.aggEngaged() {
+		return ls.evalAgg(st, overlay, hopBytes, baseMsgSize)
+	}
 	sc := evalScratchPool.Get().(*evalScratch)
 	if cap(sc.pairVal) < len(ls.pairLi) {
 		sc.pairVal = make([]float64, len(ls.pairLi))
@@ -397,6 +419,9 @@ func (ls *leafSchedule) eval(st *cluster.State, overlay, hopBytes bool, baseMsgS
 // each is the exact conversion of the reference's integer distance, so
 // the float max equals the reference's converted integer max bit for bit.
 func (ls *leafSchedule) evalDistance() float64 {
+	if ls.aggEngaged() {
+		return ls.evalDistanceAgg()
+	}
 	lay := ls.lay
 	sc := evalScratchPool.Get().(*evalScratch)
 	if cap(sc.pairVal) < len(ls.pairLi) {

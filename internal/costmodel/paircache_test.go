@@ -92,3 +92,66 @@ func TestReferenceModeAccessors(t *testing.T) {
 	}
 	SetReferenceMode(false)
 }
+
+// TestPairCacheChurnAcrossGrowthBoundaries is the regression test for the
+// storage-block boundary under churn: at 127, 128 (= DensePairLeaves) and
+// 129 leaves — the last two dense layouts and the first sparse one —
+// interleaved Allocate/Release mutations bump the state generation (a new
+// cache epoch) while each intervening evaluation sweep touches enough
+// distinct pairs to drive the sparse table through its doubling growth.
+// Every read, before and after growth and across every epoch, must equal
+// leafHops on the live state bit for bit: a rehash that drops or
+// duplicates an entry, or an epoch stamp that survives growth, shows up
+// as a stale float64.
+func TestPairCacheChurnAcrossGrowthBoundaries(t *testing.T) {
+	for _, leaves := range []int{cluster.DensePairLeaves - 1, cluster.DensePairLeaves, cluster.DensePairLeaves + 1} {
+		topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 2, Fanouts: []int{leaves}})
+		st := cluster.New(topo)
+		lay := cluster.LayoutOf(topo)
+		sparse := leaves > cluster.DensePairLeaves
+		// 48 leaves give 1176 pairs including selfs — past the 1024-slot
+		// initial sparse table's half-full growth trigger (and for the
+		// dense layouts the same sweep exercises the flat matrix).
+		span := int32(48)
+		sweep := func(tag string) {
+			c := acquirePairCache(st, lay)
+			defer c.release()
+			for li := int32(0); li < span; li++ {
+				for lj := li; lj < span; lj++ {
+					got, want := c.at(li, lj), leafHops(st, lay, li, lj)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("%d leaves %s: at(%d,%d) = %v, want %v", leaves, tag, li, lj, got, want)
+					}
+				}
+			}
+			if sparse && len(c.keys) < 2*sparseInitSlots {
+				t.Fatalf("%d leaves %s: sparse table holds %d slots after %d inserts; growth never ran",
+					leaves, tag, len(c.keys), span*(span+1)/2)
+			}
+			// Re-read after any growth: hits must serve the same bits.
+			for li := int32(0); li < span; li++ {
+				if got, want := c.at(li, span-1), leafHops(st, lay, li, span-1); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%d leaves %s: re-read at(%d,%d) = %v, want %v", leaves, tag, li, span-1, got, want)
+				}
+			}
+		}
+		sweep("fresh")
+		var live []cluster.JobID
+		for step := 0; step < 8; step++ {
+			id := cluster.JobID(4000 + step)
+			l := (step * 17) % leaves
+			if err := st.Allocate(id, cluster.CommIntensive, topo.LeafNodes(l)[:2]); err != nil {
+				t.Fatalf("%d leaves step %d: allocate: %v", leaves, step, err)
+			}
+			live = append(live, id)
+			sweep("post-allocate")
+			if step%2 == 1 {
+				if err := st.Release(live[0]); err != nil {
+					t.Fatalf("%d leaves step %d: release: %v", leaves, step, err)
+				}
+				live = live[1:]
+				sweep("post-release")
+			}
+		}
+	}
+}

@@ -82,10 +82,13 @@ type Point struct {
 	CommShare    float64
 	Algorithm    core.Algorithm
 	// Kernel records the cost-evaluation path (costmodel.KernelPath) the
-	// cell ran under — "fast" for the leaf-aggregated kernel, "reference"
-	// for the uncached loops — so sweep output is auditable: a sweep that
-	// silently ran the O(P log P) reference path is distinguishable from
-	// one that ran the kernel it is benchmarking.
+	// cell ran under — "aggregated" for the default subtree-aggregated
+	// heuristic (wide schedules collapse cross-subtree blocks, narrow
+	// ones take the flat scans), "fast" for the flat leaf-pair kernel
+	// with aggregation toggled off, "reference" for the uncached loops —
+	// so sweep output is auditable: a sweep that silently ran the
+	// O(P log P) reference path is distinguishable from one that ran the
+	// kernel it is benchmarking.
 	Kernel  string
 	Summary metrics.Summary
 }

@@ -3,10 +3,12 @@ package verify
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/collective"
+	"repro/internal/costmodel"
 	"repro/internal/topology"
 )
 
@@ -81,6 +83,89 @@ func FuzzLayoutScale(f *testing.F) {
 			live = append(live, activeJob{id, nodes, patterns[j%len(patterns)]})
 		}
 		checkFastRefBitIdentical(t, st, live, fmt.Sprintf("npl=%d fanouts=%v", npl, fanouts), 0)
+	})
+}
+
+// FuzzSubtreeAggregation hands fuzzer-chosen tree shapes and job widths
+// straddling the flat/aggregated threshold (AggTouchedLeaves touched
+// leaves) to a three-way parity check: the subtree-aggregated kernel, the
+// flat leaf-pair kernel (aggregation toggled off), and the node-pair
+// reference loops must produce bit-identical job and candidate costs on
+// the same randomly loaded state. The random residents perturb per-leaf
+// comm counters, so uniform subtrees (collapsed blocks) and non-uniform
+// ones (exact per-block fallback) both occur; the corpus seeds pin widths
+// just under, at, and past the threshold on two- and three-level trees.
+func FuzzSubtreeAggregation(f *testing.F) {
+	f.Add(uint8(40), uint8(4), uint8(1), int8(-4), int64(1))
+	f.Add(uint8(40), uint8(4), uint8(1), int8(0), int64(2))
+	f.Add(uint8(40), uint8(4), uint8(1), int8(8), int64(3))
+	f.Add(uint8(60), uint8(1), uint8(2), int8(16), int64(4)) // two-level: no agg level
+	f.Add(uint8(33), uint8(5), uint8(2), int8(40), int64(5))
+	f.Fuzz(func(t *testing.T, leavesRaw, podsRaw, nplRaw uint8, widthDelta int8, seed int64) {
+		leavesPerPod := 8 + int(leavesRaw)%96
+		pods := 1 + int(podsRaw)%5
+		npl := 1 + int(nplRaw)%3
+		fanouts := []int{leavesPerPod}
+		if pods > 1 {
+			fanouts = []int{leavesPerPod, pods}
+		}
+		topo, err := topology.Generate(topology.Spec{NodesPerLeaf: npl, Fanouts: fanouts})
+		if err != nil {
+			t.Skip() // degenerate shape
+		}
+		st := cluster.New(topo)
+		rng := rand.New(rand.NewSource(seed))
+
+		// Random resident load first, so several leaves carry extra comm
+		// and subtree uniformity is not a given.
+		patterns := []collective.Pattern{collective.RD, collective.Ring, collective.Binomial}
+		for j := 0; j < 3; j++ {
+			var nodes []int
+			for id := 0; id < topo.NumNodes() && len(nodes) < 2+rng.Intn(6); id++ {
+				if st.NodeFree(id) && rng.Intn(5) == 0 {
+					nodes = append(nodes, id)
+				}
+			}
+			if len(nodes) < 2 {
+				continue
+			}
+			if err := st.Allocate(cluster.JobID(100+j), cluster.CommIntensive, nodes); err != nil {
+				t.Fatalf("resident allocate: %v", err)
+			}
+		}
+
+		// The wide job's width straddles the aggregation threshold under
+		// fuzzer control; its nodes stripe round-robin across leaves so
+		// touched leaves ≈ width.
+		width := costmodel.AggTouchedLeaves + int(widthDelta)
+		var wide []int
+		leaves := topo.NumLeaves()
+		for k := 0; k < topo.NumNodes() && len(wide) < width; k++ {
+			l := k % leaves
+			for _, id := range topo.LeafNodes(l) {
+				if st.NodeFree(id) && !slices.Contains(wide, id) {
+					wide = append(wide, id)
+					break
+				}
+			}
+		}
+		if len(wide) < 2 {
+			t.Skip() // machine too small/loaded for any job
+		}
+		pat := patterns[uint64(seed)%uint64(len(patterns))]
+		steps, err := costmodel.ScheduleFor(pat, len(wide))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := costmodel.ScheduleAggregated(st, wide, steps); err != nil {
+			t.Fatal(err)
+		}
+		live := []activeJob{{id: 300, nodes: wide, pattern: pat}}
+		label := fmt.Sprintf("agg npl=%d fanouts=%v width=%d", npl, fanouts, len(wide))
+		checkFastRefBitIdentical(t, st, live, label+" (aggregated)", 0)
+		costmodel.SetAggregationMode(false)
+		checkFastRefBitIdentical(t, st, live, label+" (flat)", 1)
+		costmodel.SetAggregationMode(true)
 	})
 }
 

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"testing"
 
@@ -93,8 +94,8 @@ func TestCrossScaleParity(t *testing.T) {
 	for _, shape := range scaleShapes {
 		t.Run(fmt.Sprintf("L=%d", shape.leaves), func(t *testing.T) {
 			st := scaleState(t, shape.spec, shape.leaves)
-			if got := costmodel.KernelPath(); got != "fast" {
-				t.Fatalf("%d leaves: KernelPath = %q, want \"fast\"", shape.leaves, got)
+			if got := costmodel.KernelPath(); got != "aggregated" {
+				t.Fatalf("%d leaves: KernelPath = %q, want \"aggregated\"", shape.leaves, got)
 			}
 			if lay := cluster.LayoutOf(st.Topology()); lay == nil || lay.L != shape.leaves {
 				t.Fatalf("%d leaves: layout missing or wrong size (%v)", shape.leaves, lay)
@@ -121,6 +122,94 @@ func TestCrossScaleParity(t *testing.T) {
 			}
 			if cost == 0 {
 				t.Fatalf("%d leaves: cross-machine job cost is zero; parity is vacuous", shape.leaves)
+			}
+		})
+	}
+}
+
+// TestCrossScaleWideJobParity extends the cross-scale property to jobs
+// wide enough to engage the subtree-aggregated kernel (≥ AggTouchedLeaves
+// touched leaves) at 512 and 4096 leaves. Three evaluations of the same
+// states must agree bit for bit: the aggregated kernel (the default), the
+// flat leaf-pair kernel (aggregation toggled off), and the node-pair
+// reference loops. The resident jobs make several subtrees non-uniform
+// (extra comm on the first/middle/last leaves), so both the collapsed
+// uniform-block path and the exact per-block fallback are exercised, and
+// the alltoall pattern supplies the quadratic pair structure the
+// aggregation exists for.
+func TestCrossScaleWideJobParity(t *testing.T) {
+	for _, shape := range scaleShapes {
+		if shape.leaves < 512 {
+			continue
+		}
+		t.Run(fmt.Sprintf("L=%d", shape.leaves), func(t *testing.T) {
+			st := scaleState(t, shape.spec, shape.leaves)
+			width := shape.leaves / 2
+			if width > 1024 {
+				width = 1024
+			}
+			wide := scaleJobNodes(t, st, width)
+			live := []activeJob{
+				{id: 300, nodes: wide, pattern: collective.Alltoall},
+				{id: 301, nodes: wide, pattern: collective.RD},
+				{id: 302, nodes: wide, pattern: collective.Ring},
+			}
+			// Non-vacuity: the wide alltoall must actually take the
+			// aggregated stage, and a narrow job must not.
+			steps, err := costmodel.ScheduleFor(collective.Alltoall, len(wide))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if agg, err := costmodel.ScheduleAggregated(st, wide, steps); err != nil || !agg {
+				t.Fatalf("%d leaves: wide alltoall aggregated = %v, %v; property vacuous", shape.leaves, agg, err)
+			}
+			narrow := scaleJobNodes(t, st, 8)
+			nsteps, err := costmodel.ScheduleFor(collective.RD, len(narrow))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if agg, err := costmodel.ScheduleAggregated(st, narrow, nsteps); err != nil || agg {
+				t.Fatalf("%d leaves: narrow RD aggregated = %v, %v; heuristic gate broken", shape.leaves, agg, err)
+			}
+
+			// Aggregated vs reference, then flat vs reference — together
+			// they prove all three evaluations bit-identical (JobCost,
+			// hop-bytes, distance-only, and candidate pricing each run).
+			checkFastRefBitIdentical(t, st, live, fmt.Sprintf("wide L=%d (aggregated)", shape.leaves), 0)
+			costmodel.SetAggregationMode(false)
+			checkFastRefBitIdentical(t, st, live, fmt.Sprintf("wide L=%d (flat)", shape.leaves), 1)
+			costmodel.SetAggregationMode(true)
+
+			// Direct aggregated-vs-flat comparison on the wide candidate
+			// overlay: checkCandidateParity prices an 8-node candidate,
+			// which stays under the threshold, so price the wide node set
+			// itself through both kernels and the reference rollback path.
+			for _, class := range []cluster.Class{cluster.CommIntensive, cluster.ComputeIntensive} {
+				for _, mode := range []costmodel.Mode{costmodel.ModeEffectiveHops, costmodel.ModeHopBytes, costmodel.ModeDistanceOnly} {
+					const candJob = cluster.JobID(1 << 29)
+					agg, err := costmodel.CandidateCostMode(st, candJob, class, wide, collective.Alltoall, mode)
+					if err != nil {
+						t.Fatalf("%d leaves %v %v: aggregated CandidateCostMode: %v", shape.leaves, class, mode, err)
+					}
+					costmodel.SetAggregationMode(false)
+					flat, err := costmodel.CandidateCostMode(st, candJob, class, wide, collective.Alltoall, mode)
+					costmodel.SetAggregationMode(true)
+					if err != nil {
+						t.Fatalf("%d leaves %v %v: flat CandidateCostMode: %v", shape.leaves, class, mode, err)
+					}
+					cluster.SetReferenceMode(true)
+					costmodel.SetReferenceMode(true)
+					ref, err := costmodel.CandidateCostMode(st, candJob, class, wide, collective.Alltoall, mode)
+					cluster.SetReferenceMode(false)
+					costmodel.SetReferenceMode(false)
+					if err != nil {
+						t.Fatalf("%d leaves %v %v: reference CandidateCostMode: %v", shape.leaves, class, mode, err)
+					}
+					if math.Float64bits(agg) != math.Float64bits(flat) || math.Float64bits(agg) != math.Float64bits(ref) {
+						t.Fatalf("%d leaves %v %v: candidate cost aggregated %v, flat %v, reference %v",
+							shape.leaves, class, mode, agg, flat, ref)
+					}
+				}
 			}
 		})
 	}
