@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check build vet lint test race fuzz-smoke verify bench bench-smoke bench-compare coverage
+.PHONY: check build vet lint lint-allow test race fuzz-smoke verify bench bench-smoke bench-compare coverage
 
 check: vet lint build race fuzz-smoke
 
@@ -12,12 +12,19 @@ vet:
 	$(GO) vet ./...
 
 # Static invariants (DESIGN.md §8): the cawslint suite over the whole
-# tree, then the pinned external linters (skipped gracefully offline).
-# Any diagnostic fails the build; suppress false positives in place with
-# an explained `//lint:allow <analyzer> <reason>`.
+# tree, the //caws:noalloc escape gate, then the pinned external linters
+# (skipped gracefully offline). Any diagnostic fails the build; suppress
+# false positives in place with an explained
+# `//lint:allow <analyzer> <reason>`.
 lint:
 	$(GO) run ./cmd/cawslint ./...
+	sh scripts/noalloc-check.sh
 	sh scripts/lint-extra.sh
+
+# Inventory of every active //lint:allow escape hatch with its reason —
+# the review checklist for suppression audits.
+lint-allow:
+	$(GO) run ./cmd/cawslint -suppressions ./...
 
 test:
 	$(GO) test ./...

@@ -80,6 +80,7 @@ func TestRunSweepKernelColumnExact(t *testing.T) {
 			}
 		}
 	}
+	t.Cleanup(func() { costmodel.SetAggregationMode(true) })
 	for _, parallel := range []int{1, 4, runtime.NumCPU()} {
 		if got := costmodel.KernelPath(); got != "aggregated" {
 			t.Fatalf("KernelPath = %q before sweep, want \"aggregated\"", got)

@@ -19,6 +19,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one static check. Run inspects a fully type-checked
@@ -39,6 +40,10 @@ type Pass struct {
 	Fset     *token.FileSet
 	// Files are the package's non-test source files.
 	Files []*ast.File
+	// TestFiles are the package's in-package _test.go files, sharing Info
+	// with Files. Analyzers that police test discipline (globalmut's
+	// toggle-restore rule) walk these; the rest ignore them.
+	TestFiles []*ast.File
 	// Path is the package import path (fixtures may declare a synthetic
 	// one to exercise path-scoped analyzers).
 	Path string
@@ -73,24 +78,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // //lint:allow suppression directives (see suppress.go), and returns the
 // surviving diagnostics sorted by position then analyzer name.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersTimed(pkgs, analyzers)
+	return diags
+}
+
+// AnalyzerTiming is one analyzer's cumulative wall time across every
+// analyzed package, for cawslint -timing (slow analyzers must be visible
+// in CI logs, not discovered by bisecting the lint job).
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunAnalyzersTimed is RunAnalyzers, additionally returning per-analyzer
+// wall time in suite order.
+func RunAnalyzersTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
 	var diags []Diagnostic
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i].Name = a.Name
+	}
 	for _, pkg := range pkgs {
 		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Path:     pkg.Path,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &pkgDiags,
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				TestFiles: pkg.TestFiles,
+				Path:      pkg.Path,
+				Pkg:       pkg.Types,
+				Info:      pkg.Info,
+				diags:     &pkgDiags,
 			}
+			start := time.Now()
 			a.Run(pass)
+			timings[i].Elapsed += time.Since(start)
 		}
 		diags = append(diags, applySuppressions(pkg, pkgDiags, known)...)
 	}
@@ -107,7 +134,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	return diags, timings
 }
 
 // ---------------------------------------------------------------- helpers

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"path/filepath"
 	"regexp"
 	"strconv"
@@ -23,6 +24,18 @@ func TestFixtures(t *testing.T) {
 	refCfg := RefParityConfig{
 		FastPath: map[string][]string{"repro/fixture/refparity": {"cache"}},
 	}
+	gmCfg := GlobalMutConfig{
+		Scope:   []string{"repro/fixture/globalmut"},
+		Toggles: []string{"repro/fixture/globalmut.SetMode"},
+	}
+	// The bad noalloc fixture additionally requires a kernel that does not
+	// exist ("missing") and one that exists unannotated ("unmarked").
+	naBadCfg := NoAllocConfig{Require: map[string][]string{
+		"repro/fixture/noalloc": {"hot", "unmarked", "missing"},
+	}}
+	naCleanCfg := NoAllocConfig{Require: map[string][]string{
+		"repro/fixture/noalloc": {"hot"},
+	}}
 	cases := []struct {
 		dir        string
 		importPath string
@@ -38,6 +51,14 @@ func TestFixtures(t *testing.T) {
 		{"floatcmp/clean", "repro/internal/costmodel", FloatCmp(DefaultFloatCmpScope, DefaultApprovedComparators)},
 		{"refparity/bad", "repro/fixture/refparity", RefParity(refCfg)},
 		{"refparity/clean", "repro/fixture/refparity", RefParity(refCfg)},
+		{"poolhygiene/bad", "repro/internal/core", PoolHygiene(DefaultPoolHygieneScope)},
+		{"poolhygiene/clean", "repro/internal/core", PoolHygiene(DefaultPoolHygieneScope)},
+		{"globalmut/bad", "repro/fixture/globalmut", GlobalMut(gmCfg)},
+		{"globalmut/clean", "repro/fixture/globalmut", GlobalMut(gmCfg)},
+		{"sharedwrite/bad", "repro/internal/sweep", SharedWrite(DefaultSharedWriteScope)},
+		{"sharedwrite/clean", "repro/internal/sweep", SharedWrite(DefaultSharedWriteScope)},
+		{"noalloc/bad", "repro/fixture/noalloc", NoAlloc(naBadCfg)},
+		{"noalloc/clean", "repro/fixture/noalloc", NoAlloc(naCleanCfg)},
 		// The suppress fixtures run a real analyzer (determinism) so the
 		// driver's directive handling is exercised end to end.
 		{"suppress/bad", "repro/internal/sim", Determinism(DefaultDeterminismScope)},
@@ -62,7 +83,7 @@ var wantRe = regexp.MustCompile(`^//\s*want(?:\+(\d+))?\s+(.+?)\s*$`)
 func collectWants(t *testing.T, pkg *Package) map[string][]*want {
 	t.Helper()
 	wants := make(map[string][]*want)
-	for _, f := range pkg.Files {
+	for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := wantRe.FindStringSubmatch(c.Text)

@@ -23,16 +23,22 @@ type Package struct {
 	Dir   string
 	Fset  *token.FileSet
 	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	// TestFiles are the package's in-package _test.go files, type-checked
+	// together with Files under the same Info (external package foo_test
+	// files are not loaded). Most analyzers cover production code only;
+	// globalmut reads these to enforce toggle-restore discipline in tests.
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
 type listedPkg struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
+	ImportPath  string
+	Dir         string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
 }
 
 // goList runs `go list` in dir with the given arguments and decodes the
@@ -63,9 +69,12 @@ func goList(dir string, args ...string) ([]listedPkg, error) {
 
 // exportMap builds importPath -> export-data file for the patterns and
 // every dependency, compiling as needed (`go list -export` populates the
-// build cache; it needs no network).
+// build cache; it needs no network). -test pulls in the dependencies of
+// in-package test files (testing and friends) so _test.go files
+// type-check; the test-variant entries themselves carry bracketed import
+// paths and are never looked up.
 func exportMap(dir string, patterns []string) (map[string]string, error) {
-	args := append([]string{"list", "-export", "-deps",
+	args := append([]string{"list", "-export", "-deps", "-test",
 		"-json=ImportPath,Export"}, patterns...)
 	pkgs, err := goList(dir, args...)
 	if err != nil {
@@ -92,12 +101,10 @@ func exportImporter(fset *token.FileSet, exports map[string]string) types.Import
 	})
 }
 
-// typeCheck parses the files and type-checks them as import path, using
-// exports to resolve imports.
-func typeCheck(fset *token.FileSet, path, dir string, goFiles []string,
-	exports map[string]string) (*Package, error) {
+// parseFiles parses the named files (relative names resolve against dir).
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
 	var files []*ast.File
-	for _, name := range goFiles {
+	for _, name := range names {
 		fn := name
 		if !filepath.IsAbs(fn) {
 			fn = filepath.Join(dir, name)
@@ -108,6 +115,23 @@ func typeCheck(fset *token.FileSet, path, dir string, goFiles []string,
 		}
 		files = append(files, af)
 	}
+	return files, nil
+}
+
+// typeCheck parses the production and in-package test files and
+// type-checks them together as import path — one types.Info spans both,
+// exactly like the compiler's test variant — using exports to resolve
+// imports.
+func typeCheck(fset *token.FileSet, path, dir string, goFiles, testGoFiles []string,
+	exports map[string]string) (*Package, error) {
+	files, err := parseFiles(fset, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parseFiles(fset, dir, testGoFiles)
+	if err != nil {
+		return nil, err
+	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -115,20 +139,25 @@ func typeCheck(fset *token.FileSet, path, dir string, goFiles []string,
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	conf := types.Config{Importer: exportImporter(fset, exports)}
-	tpkg, err := conf.Check(path, fset, files, info)
+	all := make([]*ast.File, 0, len(files)+len(testFiles))
+	all = append(all, files...)
+	all = append(all, testFiles...)
+	tpkg, err := conf.Check(path, fset, all, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
 	}
 	return &Package{
-		Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info,
+		Path: path, Dir: dir, Fset: fset,
+		Files: files, TestFiles: testFiles, Types: tpkg, Info: info,
 	}, nil
 }
 
 // Load type-checks the packages matched by the patterns (relative to dir,
 // or the current directory when dir is empty) and returns them ready for
-// analysis. Only non-test files are loaded: the invariants cover
-// production code, and test files may deliberately exercise forbidden
-// constructs.
+// analysis. Production files land in Package.Files; in-package _test.go
+// files land in Package.TestFiles (most analyzers cover production code
+// only — test files may deliberately exercise forbidden constructs — but
+// globalmut's toggle-restore rule reads them).
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -137,7 +166,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,TestGoFiles"}, patterns...)
 	targets, err := goList(dir, args...)
 	if err != nil {
 		return nil, err
@@ -150,7 +179,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			continue
 		}
 		seen[t.ImportPath] = true
-		pkg, err := typeCheck(fset, t.ImportPath, t.Dir, t.GoFiles, exports)
+		pkg, err := typeCheck(fset, t.ImportPath, t.Dir, t.GoFiles, t.TestGoFiles, exports)
 		if err != nil {
 			return nil, err
 		}
@@ -183,11 +212,13 @@ func moduleRoot(dir string) (string, error) {
 	return filepath.Dir(gomod), nil
 }
 
-// LoadDir parses and type-checks the non-test .go files of one directory
-// as a package with the given import path, resolving imports against the
-// enclosing module. Fixture tests use it to analyze testdata packages —
-// including ones that pose as scoped packages like repro/internal/sim —
-// with full type information.
+// LoadDir parses and type-checks the .go files of one directory as a
+// package with the given import path, resolving imports against the
+// enclosing module. Files named *_test.go load as the package's
+// TestFiles, mirroring Load (fixtures use them to exercise the
+// test-file-aware rules). Fixture tests use LoadDir to analyze testdata
+// packages — including ones that pose as scoped packages like
+// repro/internal/sim — with full type information.
 func LoadDir(dir, importPath string) (*Package, error) {
 	root, err := moduleRoot(dir)
 	if err != nil {
@@ -203,18 +234,21 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var goFiles []string
+	var goFiles, testGoFiles []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
 			continue
 		}
-		goFiles = append(goFiles, name)
+		if strings.HasSuffix(name, "_test.go") {
+			testGoFiles = append(testGoFiles, name)
+		} else {
+			goFiles = append(goFiles, name)
+		}
 	}
 	if len(goFiles) == 0 {
 		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
 	}
 	fset := token.NewFileSet()
-	return typeCheck(fset, importPath, dir, goFiles, moduleExports.m)
+	return typeCheck(fset, importPath, dir, goFiles, testGoFiles, moduleExports.m)
 }

@@ -11,5 +11,9 @@ func Suite() []*Analyzer {
 		Exhaustive(DefaultEnums),
 		FloatCmp(DefaultFloatCmpScope, DefaultApprovedComparators),
 		RefParity(DefaultRefParityConfig),
+		PoolHygiene(DefaultPoolHygieneScope),
+		GlobalMut(DefaultGlobalMutConfig),
+		SharedWrite(DefaultSharedWriteScope),
+		NoAlloc(DefaultNoAllocConfig),
 	}
 }

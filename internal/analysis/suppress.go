@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"go/ast"
+	"go/token"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,41 +34,82 @@ type directive struct {
 	used     bool
 }
 
+// collectDirectives scans a package's production and test files for
+// //lint:allow comments.
+func collectDirectives(pkg *Package) []*directive {
+	var all []*directive
+	for _, files := range [][]*ast.File{pkg.Files, pkg.TestFiles} {
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+					d := &directive{diag: Diagnostic{Pos: pos, Analyzer: SuppressName}}
+					if len(fields) > 0 {
+						d.analyzer = fields[0]
+					}
+					if len(fields) > 1 {
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					all = append(all, d)
+				}
+			}
+		}
+	}
+	return all
+}
+
+// Suppression is one //lint:allow directive for the inventory listing
+// (cawslint -suppressions): reviewers audit every active escape hatch in
+// one command instead of grepping and cross-checking reasons by hand.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Suppressions inventories every //lint:allow directive in the packages,
+// production and test files alike, sorted by position.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, d := range collectDirectives(pkg) {
+			out = append(out, Suppression{
+				Pos: d.diag.Pos, Analyzer: d.analyzer, Reason: d.reason,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
 // applySuppressions filters pkgDiags through the package's //lint:allow
 // directives and appends driver diagnostics for malformed or unused ones.
 // known is the set of analyzer names in this run.
 func applySuppressions(pkg *Package, pkgDiags []Diagnostic, known map[string]bool) []Diagnostic {
 	// directives[file][line] -> directives allowed to act on that line.
 	byLine := make(map[string]map[int][]*directive)
-	var all []*directive
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				if !strings.HasPrefix(text, directivePrefix) {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
-				d := &directive{diag: Diagnostic{Pos: pos, Analyzer: SuppressName}}
-				if len(fields) > 0 {
-					d.analyzer = fields[0]
-				}
-				if len(fields) > 1 {
-					d.reason = strings.Join(fields[1:], " ")
-				}
-				all = append(all, d)
-				m := byLine[pos.Filename]
-				if m == nil {
-					m = make(map[int][]*directive)
-					byLine[pos.Filename] = m
-				}
-				// A directive acts on its own line; one alone on a line
-				// also acts on the next line.
-				m[pos.Line] = append(m[pos.Line], d)
-				m[pos.Line+1] = append(m[pos.Line+1], d)
-			}
+	all := collectDirectives(pkg)
+	for _, d := range all {
+		m := byLine[d.diag.Pos.Filename]
+		if m == nil {
+			m = make(map[int][]*directive)
+			byLine[d.diag.Pos.Filename] = m
 		}
+		// A directive acts on its own line; one alone on a line also acts
+		// on the next line.
+		m[d.diag.Pos.Line] = append(m[d.diag.Pos.Line], d)
+		m[d.diag.Pos.Line+1] = append(m[d.diag.Pos.Line+1], d)
 	}
 
 	var out []Diagnostic

@@ -1,0 +1,13 @@
+package globalmut
+
+import "testing"
+
+// TestLeaksMode flips the toggle with only an inline restore: a t.Fatal
+// in between would leak the mode into every later test.
+func TestLeaksMode(t *testing.T) {
+	SetMode(true) // want `TestLeaksMode flips repro/fixture/globalmut.SetMode without a deferred or Cleanup restore`
+	if !mode.Load() {
+		t.Fatal("mode not set")
+	}
+	SetMode(false)
+}

@@ -1,0 +1,19 @@
+package globalmut
+
+import "testing"
+
+func TestDeferRestore(t *testing.T) {
+	SetMode(true)
+	defer SetMode(false)
+	if !Mode() {
+		t.Fatal("mode not set")
+	}
+}
+
+func TestCleanupRestore(t *testing.T) {
+	t.Cleanup(func() { SetMode(false) })
+	SetMode(true)
+	if !Mode() {
+		t.Fatal("mode not set")
+	}
+}

@@ -1,0 +1,26 @@
+// Bad zero-alloc annotations: a required kernel missing its directive, a
+// required kernel absent from the package, and an annotated kernel full
+// of unconditional allocation sites.
+package noalloc // want `required //caws:noalloc kernel missing not found in repro/fixture/noalloc`
+
+type pair struct{ a, b int }
+
+// unmarked is required by the configuration but carries no directive.
+func unmarked(xs []int) int { // want `hot kernel unmarked must carry //caws:noalloc`
+	return len(xs)
+}
+
+// hot is annotated but allocates on its straight-line path.
+//
+//caws:noalloc
+func hot(dst, src []int, n int) []int {
+	tmp := make([]int, n)                // want `unconditional make in //caws:noalloc hot`
+	p := new(pair)                       // want `unconditional new in //caws:noalloc hot`
+	q := &pair{a: 1}                     // want `unconditional &composite literal in //caws:noalloc hot`
+	lit := []int{1, 2}                   // want `unconditional slice/map literal in //caws:noalloc hot`
+	f := func() int { return p.a + q.b } // want `unconditional closure in //caws:noalloc hot`
+	dst = append(src, f())               // want `unconditional non-self append in //caws:noalloc hot`
+	_ = tmp
+	_ = lit
+	return dst
+}

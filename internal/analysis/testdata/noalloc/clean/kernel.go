@@ -1,0 +1,30 @@
+// Clean zero-alloc annotations: the required kernel is annotated, grows
+// only behind a capacity guard, and self-appends on the steady path;
+// unannotated cold code allocates freely.
+package noalloc
+
+type pair struct{ a, b int }
+
+// hot grows its buffer only behind the capacity guard and self-appends
+// on the steady path.
+//
+//caws:noalloc
+func hot(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, 0, n)
+	}
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// cold is unannotated and may allocate.
+func cold(n int) []pair {
+	out := make([]pair, n)
+	for i := range out {
+		out[i] = pair{a: i, b: i}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Bad pool hygiene: leaks, escapes, goroutine capture, and unverifiable
+// Get results, each annotated with the expected diagnostic.
+package core
+
+import "sync"
+
+type arena struct{ buf []int }
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+func leak() {
+	a := arenaPool.Get().(*arena) // want `pooled a is acquired but never Put/released`
+	a.buf = a.buf[:0]
+}
+
+func escapesReturn() any {
+	a := arenaPool.Get().(*arena)
+	defer arenaPool.Put(a)
+	return a // want `pooled a escapes via return`
+}
+
+var last *arena
+
+func escapesGlobal() {
+	a := arenaPool.Get().(*arena)
+	last = a // want `pooled a stored in package-level last`
+	arenaPool.Put(a)
+}
+
+type holder struct{ a *arena }
+
+func escapesField(h *holder) {
+	a := arenaPool.Get().(*arena)
+	h.a = a // want `pooled a stored outside the function's locals`
+	arenaPool.Put(a)
+}
+
+func escapesChannel(ch chan *arena) {
+	a := arenaPool.Get().(*arena)
+	ch <- a // want `pooled a sent on a channel`
+	arenaPool.Put(a)
+}
+
+func capturedByGoroutine() {
+	a := arenaPool.Get().(*arena)
+	go func() { a.buf = nil }() // want `pooled a captured by a goroutine`
+	arenaPool.Put(a)
+}
+
+func earlyReturn(cond bool) {
+	a := arenaPool.Get().(*arena)
+	if cond {
+		return // want `return between a's acquisition and its non-deferred release`
+	}
+	arenaPool.Put(a)
+}
+
+func unbound() {
+	arenaPool.Get() // want `pooled Get result is not bound to a variable`
+}

@@ -1,0 +1,47 @@
+// Clean pool hygiene: acquire/release wrappers, deferred releases, a
+// straight-line Get/Put with no intervening return, and a conditional
+// acquisition that is released on the same condition.
+package core
+
+import "sync"
+
+type arena struct{ buf []int }
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+// getArena is the acquire wrapper; its callers carry the obligations.
+func getArena() *arena { return arenaPool.Get().(*arena) }
+
+// release is the release wrapper.
+func (a *arena) release() { arenaPool.Put(a) }
+
+func deferred() int {
+	a := getArena()
+	defer a.release()
+	a.buf = append(a.buf[:0], 1)
+	return len(a.buf)
+}
+
+func straightLine() int {
+	a := arenaPool.Get().(*arena)
+	a.buf = a.buf[:0]
+	n := len(a.buf)
+	arenaPool.Put(a)
+	return n
+}
+
+func deferredClosure() {
+	a := getArena()
+	defer func() { a.release() }()
+	a.buf = a.buf[:0]
+}
+
+func conditionalAcquire(use bool) {
+	var a *arena
+	if use {
+		a = getArena()
+	}
+	if a != nil {
+		a.release()
+	}
+}

@@ -1,0 +1,39 @@
+// Bad shared-write discipline: goroutine bodies writing captured scalars,
+// maps, and struct fields instead of index-disjoint slots.
+package sweep
+
+import "errors"
+
+type result struct{ n int }
+
+func work(i int) (int, error) { return i, errors.New("boom") }
+
+func fanOut(n int) error {
+	var firstErr error
+	total := 0
+	count := 0
+	counts := map[int]int{}
+	shared := &result{}
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			v, err := work(i)
+			if err != nil {
+				firstErr = err // want `bare write to captured firstErr inside a goroutine`
+			}
+			total += v     // want `bare write to captured total inside a goroutine`
+			count++        // want `bare write to captured count inside a goroutine`
+			counts[i] = v  // want `write to captured map counts inside a goroutine`
+			shared.n = v   // want `write through captured shared inside a goroutine`
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	_ = total
+	_ = count
+	_ = counts
+	_ = shared
+	return firstErr
+}

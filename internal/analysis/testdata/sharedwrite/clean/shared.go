@@ -1,0 +1,31 @@
+// Clean shared-write discipline: index-disjoint slice slots, atomics,
+// channel sends, and goroutine-local state only.
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func work(i int) int { return i * i }
+
+func fanOut(n int) []int {
+	res := make([]int, n)
+	var total atomic.Int64
+	ch := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local := work(i)
+			local++
+			res[i] = local
+			total.Add(int64(local))
+			ch <- local
+		}(i)
+	}
+	wg.Wait()
+	close(ch)
+	return res
+}

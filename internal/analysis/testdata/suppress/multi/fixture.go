@@ -1,0 +1,17 @@
+// Package sim poses as repro/internal/sim, which sits inside both the
+// determinism and floatcmp default scopes: the return line below trips
+// both analyzers at once. A line can carry only one comment, so the two
+// directives split across the two legal placements — determinism alone on
+// the line above, floatcmp on the line itself — and each must silence
+// exactly its own analyzer's finding while leaving the other directive's
+// bookkeeping intact.
+package sim
+
+import "time"
+
+// Elapsed compares a wall-clock reading against a recorded mark; both
+// findings on the return line are explained false positives here.
+func Elapsed(mark float64) bool {
+	//lint:allow determinism fixture: wall-clock by design
+	return float64(time.Now().UnixNano()) == mark //lint:allow floatcmp fixture: exact equality against the recorded mark is intended
+}

@@ -1,0 +1,16 @@
+// Package supptest poses as repro/fixture/supptest, with
+// repro/fixture/supptest.SetMode configured as a policed toggle. The
+// interesting directives live in mode_test.go: suppressions in _test.go
+// files must both act (silencing a test-file finding) and be audited (a
+// stale test-file directive is flagged like a production one).
+package supptest
+
+import "sync/atomic"
+
+var mode atomic.Bool
+
+// SetMode is the annotated setter for the fixture's toggle.
+func SetMode(on bool) { mode.Store(on) } //lint:allow globalmut fixture: the annotated setter; callers are policed instead
+
+// Mode reads the toggle.
+func Mode() bool { return mode.Load() }

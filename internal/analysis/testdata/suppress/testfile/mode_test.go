@@ -1,0 +1,24 @@
+package supptest
+
+import "testing"
+
+// TestFlipSuppressed flips the toggle with no restore in sight; the
+// same-line directive in this _test.go file must silence the finding.
+func TestFlipSuppressed(t *testing.T) {
+	SetMode(true) //lint:allow globalmut fixture: the restore is deliberately omitted to exercise test-file directives
+	if !Mode() {
+		t.Fatal("mode not set")
+	}
+	SetMode(false)
+}
+
+// TestStaleDirective restores properly via Cleanup, so its directive
+// matches no finding: stale directives in test files must be flagged
+// exactly like production ones.
+func TestStaleDirective(t *testing.T) {
+	t.Cleanup(func() { SetMode(false) })
+	SetMode(true) //lint:allow globalmut fixture: stale, the Cleanup above already restores
+	if !Mode() {
+		t.Fatal("mode not set")
+	}
+}

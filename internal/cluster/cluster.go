@@ -32,7 +32,7 @@ var referenceMode atomic.Bool
 
 // SetReferenceMode switches every State between the O(1) counter read and
 // the O(leaves) reference scan in SwitchFree. It is process-global.
-func SetReferenceMode(on bool) { referenceMode.Store(on) }
+func SetReferenceMode(on bool) { referenceMode.Store(on) } //lint:allow globalmut the annotated setter for the switch-free reference toggle; callers are policed instead
 
 // ReferenceMode reports whether the reference (slow-scan) path is active.
 func ReferenceMode() bool { return referenceMode.Load() }

@@ -124,9 +124,9 @@ func LayoutOf(topo *topology.Topology) *Layout {
 		return lay
 	}
 	if layoutCache.m == nil || len(layoutCache.m) >= maxLayoutCacheEntries {
-		layoutCache.m = make(map[*topology.Topology]*Layout)
+		layoutCache.m = make(map[*topology.Topology]*Layout) //lint:allow globalmut bounded memo cache reset under layoutCache.mu; idempotent rebuild, not a mode switch
 	}
-	layoutCache.m[topo] = built
+	layoutCache.m[topo] = built //lint:allow globalmut memo insert under layoutCache.mu; layouts are immutable once built
 	return built
 }
 

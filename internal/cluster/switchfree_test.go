@@ -97,6 +97,7 @@ func TestSwitchFreeReferenceMode(t *testing.T) {
 	if ReferenceMode() {
 		t.Fatal("reference mode unexpectedly on")
 	}
+	t.Cleanup(func() { SetReferenceMode(false) })
 	for _, sw := range topo.Switches {
 		fast := st.SwitchFree(sw)
 		SetReferenceMode(true)

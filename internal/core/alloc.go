@@ -168,6 +168,8 @@ func findLowestSwitch(st *cluster.State, n int) (*topology.Switch, error) {
 
 // takeFromLeaf appends up to max free nodes of leaf l (ascending node ID)
 // to dst.
+//
+//caws:noalloc
 func takeFromLeaf(st *cluster.State, l, max int, dst []int) []int {
 	if max <= 0 {
 		return dst
@@ -223,6 +225,8 @@ func (sc *selScratch) beginMark(n int) {
 
 // snapshotLeaves fills the scratch's leaf-order buffer; the returned slice
 // is valid until the scratch is released.
+//
+//caws:noalloc
 func snapshotLeaves(st *cluster.State, leaves []int, sc *selScratch) []leafOrder {
 	if cap(sc.order) < len(leaves) {
 		sc.order = make([]leafOrder, len(leaves))
@@ -495,6 +499,8 @@ func (s balancedSelector) Select(st *cluster.State, req Request) ([]int, error) 
 // first call (sc.beginMark + mark); appendAvoiding marks what it appends,
 // so successive calls keep avoiding each other without rescanning dst —
 // the zero-allocation replacement for the old per-call map[int]bool.
+//
+//caws:noalloc
 func appendAvoiding(st *cluster.State, l, max int, dst []int, sc *selScratch) []int {
 	if max <= 0 {
 		return dst
@@ -569,7 +575,7 @@ func (adaptiveSelector) Select(st *cluster.State, req Request) ([]int, error) {
 	if costmodel.CandidateCostReadOnly(st) {
 		j := joinPool.Get().(*adaptiveJoin)
 		j.st, j.job, j.class, j.nodes, j.pattern = st, req.Job, req.Class, b, req.Pattern
-		go j.run()
+		go j.run() //lint:allow poolhygiene the <-j.done join below strictly orders the goroutine's last touch before Put
 		costG, errG = costmodel.CandidateCost(st, req.Job, req.Class, g, req.Pattern)
 		<-j.done
 		costB, errB = j.cost, j.err

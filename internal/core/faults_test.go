@@ -110,6 +110,10 @@ func TestSelectorsSkipUnavailableNodes(t *testing.T) {
 // paths pick bit-identical nodes on states full of failed and drained
 // capacity — the selector-level slice of the fault acceptance bar.
 func TestSelectorsRefParityUnderFaults(t *testing.T) {
+	t.Cleanup(func() {
+		cluster.SetReferenceMode(false)
+		costmodel.SetReferenceMode(false)
+	})
 	topo := topology.MustGenerate(topology.Spec{NodesPerLeaf: 4, Fanouts: []int{4, 2}})
 	for _, alg := range Algorithms {
 		sel := MustNew(alg)

@@ -128,8 +128,8 @@ func leafSchedFor(lay *cluster.Layout, nodes []int, steps []collective.Step) (*l
 	}
 	ls.hash = h
 	leafSchedCache.mu.Lock()
-	leafSchedCache.ents[leafSchedCache.next] = ls
-	leafSchedCache.next = (leafSchedCache.next + 1) % leafSchedSlots
+	leafSchedCache.ents[leafSchedCache.next] = ls //lint:allow globalmut ring-buffer memo insert under leafSchedCache.mu; entries are immutable once built
+	leafSchedCache.next = (leafSchedCache.next + 1) % leafSchedSlots //lint:allow globalmut ring cursor advance under leafSchedCache.mu
 	leafSchedCache.mu.Unlock()
 	return ls, nil
 }
@@ -273,6 +273,8 @@ func buildLeafSchedule(lay *cluster.Layout, nodes []int, steps []collective.Step
 // mirroring Hops/Contention expression for expression (same conversions,
 // same association order), so kernel and reference evaluations are
 // bit-identical.
+//
+//caws:noalloc
 func leafHops(st *cluster.State, lay *cluster.Layout, li, lj int32) float64 {
 	d := lay.Dist(li, lj)
 	if li == lj {
@@ -343,6 +345,8 @@ func (sc *evalScratch) beginOverlay(st *cluster.State, lay *cluster.Layout, ls *
 
 // overlayHops is leafHops with the candidate overlay applied to whichever
 // endpoints it covers.
+//
+//caws:noalloc
 func (sc *evalScratch) overlayHops(st *cluster.State, lay *cluster.Layout, li, lj int32) float64 {
 	commI, shareI := st.LeafComm(int(li)), st.CommShare(int(li))
 	if sc.ovSet[li] == sc.ovEpoch {
@@ -365,6 +369,8 @@ func (sc *evalScratch) overlayHops(st *cluster.State, lay *cluster.Layout, li, l
 // Leaf-pair Hops are prefilled in the schedule's fixed pair order — one
 // computation per distinct pair — then each step takes the max over its
 // index list, so sums are reproducible regardless of caller concurrency.
+//
+//caws:noalloc
 func (ls *leafSchedule) eval(st *cluster.State, overlay, hopBytes bool, baseMsgSize float64) float64 {
 	if ls.aggEngaged() {
 		return ls.evalAgg(st, overlay, hopBytes, baseMsgSize)
@@ -418,6 +424,8 @@ func (ls *leafSchedule) eval(st *cluster.State, overlay, hopBytes bool, baseMsgS
 // ancestor chains, so one walk per pair, not one per step reference);
 // each is the exact conversion of the reference's integer distance, so
 // the float max equals the reference's converted integer max bit for bit.
+//
+//caws:noalloc
 func (ls *leafSchedule) evalDistance() float64 {
 	if ls.aggEngaged() {
 		return ls.evalDistanceAgg()

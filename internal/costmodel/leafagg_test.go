@@ -44,6 +44,10 @@ func refJobCost(t *testing.T, st *cluster.State, nodes []int, steps []collective
 // node-pair loops. This is the executable form of the DESIGN §7
 // regrouping argument: max over node pairs = max over distinct leaf pairs.
 func TestLeafScheduleRegrouping(t *testing.T) {
+	t.Cleanup(func() {
+		cluster.SetReferenceMode(false)
+		SetReferenceMode(false)
+	})
 	st := leafAggState(t)
 	nodes := []int{2, 3, 6, 10, 14, 5}
 	shared := []collective.Pair{{A: 0, B: 3}, {A: 1, B: 2}, {A: 4, B: 5}}
@@ -145,6 +149,10 @@ func TestPairRangeErrorParity(t *testing.T) {
 // same error string whether it validates read-only (fast) or actually
 // attempts the allocation (reference).
 func TestCandidateValidationErrorParity(t *testing.T) {
+	t.Cleanup(func() {
+		cluster.SetReferenceMode(false)
+		SetReferenceMode(false)
+	})
 	st := leafAggState(t)
 	if err := st.Drain(15); err != nil {
 		t.Fatal(err)

@@ -15,7 +15,7 @@ var referenceMode atomic.Bool
 // SetReferenceMode switches cost evaluation between the leaf-aggregated
 // kernel (with its gen-keyed pair cache) and the uncached reference
 // implementation. It is process-global.
-func SetReferenceMode(on bool) { referenceMode.Store(on) }
+func SetReferenceMode(on bool) { referenceMode.Store(on) } //lint:allow globalmut the annotated setter for the reference-mode toggle; callers are policed instead
 
 // ReferenceMode reports whether the reference (uncached) path is active.
 func ReferenceMode() bool { return referenceMode.Load() }
@@ -96,6 +96,8 @@ func (c *pairCache) release() { pairCachePool.Put(c) }
 
 // at returns Hops between leaves li ≤ lj, computing it via leafHops on
 // first touch so cached and uncached evaluations are bit-identical.
+//
+//caws:noalloc
 func (c *pairCache) at(li, lj int32) float64 {
 	if c.lay.L <= denseLeaves {
 		idx := int(li)*denseLeaves + int(lj)
@@ -123,6 +125,8 @@ func pairSlot(key, mask uint64) uint64 {
 }
 
 // atSparse is the open-addressing path for layouts past the dense block.
+//
+//caws:noalloc
 func (c *pairCache) atSparse(li, lj int32) float64 {
 	key := uint64(uint32(li))<<32 | uint64(uint32(lj))
 	mask := uint64(len(c.keys) - 1)

@@ -77,6 +77,7 @@ func TestPairCacheSparseInvalidation(t *testing.T) {
 // TestReferenceModeAccessors pins the mode accessors the harness and the
 // path indicator read.
 func TestReferenceModeAccessors(t *testing.T) {
+	t.Cleanup(func() { SetReferenceMode(false) })
 	if ReferenceMode() {
 		t.Fatal("reference mode on at test start")
 	}

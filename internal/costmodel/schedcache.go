@@ -47,8 +47,8 @@ func ScheduleFor(p collective.Pattern, n int) ([]collective.Step, error) {
 		return nil, err
 	}
 	if scheduleEntries.Load() < maxScheduleEntries {
-		if _, loaded := scheduleCache.LoadOrStore(k, s); !loaded {
-			scheduleEntries.Add(1)
+		if _, loaded := scheduleCache.LoadOrStore(k, s); !loaded { //lint:allow globalmut bounded sync.Map memo insert; schedules are immutable once built
+			scheduleEntries.Add(1) //lint:allow globalmut entry counter paired with the LoadOrStore above
 		}
 	}
 	return s, nil

@@ -55,7 +55,7 @@ var aggregationOff atomic.Bool
 // process-global and meant for tests, verification harnesses, and
 // benchmarks; disabling it forces every schedule onto the flat leaf-pair
 // kernel regardless of width.
-func SetAggregationMode(on bool) { aggregationOff.Store(!on) }
+func SetAggregationMode(on bool) { aggregationOff.Store(!on) } //lint:allow globalmut the annotated setter for the aggregation toggle; callers are policed instead
 
 // AggregationMode reports whether the subtree-aggregated stage is enabled.
 func AggregationMode() bool { return !aggregationOff.Load() }
@@ -291,6 +291,8 @@ func (sc *evalScratch) ensureAgg(nSubs, nBlocks int) {
 // partitioned into intra pairs and blocks, and float max is
 // order-independent for the positive, NaN-free hops values), but each
 // uniform block costs one comparison instead of one per pair.
+//
+//caws:noalloc
 func (ls *leafSchedule) evalAgg(st *cluster.State, overlay, hopBytes bool, baseMsgSize float64) float64 {
 	ag := ls.agg
 	lay := ls.lay
@@ -300,7 +302,9 @@ func (ls *leafSchedule) evalAgg(st *cluster.State, overlay, hopBytes bool, baseM
 	}
 	pv := sc.pairVal[:len(ls.pairLi)]
 	nSubs, nBlocks := len(ag.subs), len(ag.blockA)
-	sc.ensureAgg(nSubs, nBlocks)
+	if len(sc.subComm) < nSubs || len(sc.blockVal) < nBlocks {
+		sc.ensureAgg(nSubs, nBlocks) // grow path, cold once the pool is warm
+	}
 	if overlay {
 		sc.beginOverlay(st, lay, ls)
 	}
@@ -417,6 +421,8 @@ func (ls *leafSchedule) evalAgg(st *cluster.State, overlay, hopBytes bool, baseM
 // is state-independent, so every block collapses unconditionally: the
 // block value is the layout's lifted subtree-pair distance, bit-identical
 // to the Dist of any of the block's leaf pairs.
+//
+//caws:noalloc
 func (ls *leafSchedule) evalDistanceAgg() float64 {
 	ag := ls.agg
 	lay := ls.lay
@@ -426,7 +432,9 @@ func (ls *leafSchedule) evalDistanceAgg() float64 {
 	}
 	pv := sc.pairVal[:len(ls.pairLi)]
 	nBlocks := len(ag.blockA)
-	sc.ensureAgg(len(ag.subs), nBlocks)
+	if len(sc.subComm) < len(ag.subs) || len(sc.blockVal) < nBlocks {
+		sc.ensureAgg(len(ag.subs), nBlocks) // grow path, cold once the pool is warm
+	}
 	blockVal := sc.blockVal[:nBlocks]
 	for b := 0; b < nBlocks; b++ {
 		blockVal[b] = lay.SubDist(ag.subs[ag.blockA[b]], ag.subs[ag.blockB[b]])

@@ -43,6 +43,11 @@ func subtreeAggState(t *testing.T, width int) (*cluster.State, []int) {
 // the three results bit-identical and non-zero.
 func checkThreeWayParity(t *testing.T, label string, cost func() (float64, error)) {
 	t.Helper()
+	defer func() {
+		SetAggregationMode(true)
+		cluster.SetReferenceMode(false)
+		SetReferenceMode(false)
+	}()
 	agg, err := cost()
 	if err != nil {
 		t.Fatalf("%s (aggregated): %v", label, err)
@@ -145,6 +150,10 @@ func TestSubtreeCandidateOverlayParity(t *testing.T) {
 // (no aggregation level), single-subtree jobs, and one-leaf-per-subtree
 // jobs all stay flat; compile errors propagate.
 func TestScheduleAggregatedGate(t *testing.T) {
+	t.Cleanup(func() {
+		SetReferenceMode(false)
+		SetAggregationMode(true)
+	})
 	st, nodes := subtreeAggState(t, AggTouchedLeaves)
 	steps, err := ScheduleFor(collective.Ring, len(nodes))
 	if err != nil {

@@ -96,6 +96,7 @@ func FuzzLayoutScale(f *testing.F) {
 // ones (exact per-block fallback) both occur; the corpus seeds pin widths
 // just under, at, and past the threshold on two- and three-level trees.
 func FuzzSubtreeAggregation(f *testing.F) {
+	f.Cleanup(func() { costmodel.SetAggregationMode(true) })
 	f.Add(uint8(40), uint8(4), uint8(1), int8(-4), int64(1))
 	f.Add(uint8(40), uint8(4), uint8(1), int8(0), int64(2))
 	f.Add(uint8(40), uint8(4), uint8(1), int8(8), int64(3))

@@ -197,6 +197,10 @@ func referenceCosts(t *testing.T, st *cluster.State, nodes []int, steps []collec
 // allocate/cost/rollback path, for both job classes (only comm-intensive
 // candidates overlay the comm counters).
 func checkCandidateParity(t *testing.T, st *cluster.State, spec string, op int) {
+	defer func() {
+		cluster.SetReferenceMode(false)
+		costmodel.SetReferenceMode(false)
+	}()
 	t.Helper()
 	var cand []int
 	for id := 0; id < st.Topology().NumNodes() && len(cand) < 8; id++ {

@@ -19,6 +19,7 @@ import (
 // of the two matrix sweeps.
 func ReferenceEquivalence(spec TraceSpec, parallelism int) error {
 	configs := ConfigsFor(spec)
+	//lint:allow globalmut verification harness by design: flips both reference modes to diff fast vs reference sweeps, restored by the defer below
 	cluster.SetReferenceMode(false)
 	costmodel.SetReferenceMode(false)
 	fast, err := runMatrixResults(spec, configs, parallelism)

@@ -138,6 +138,11 @@ func TestCrossScaleParity(t *testing.T) {
 // the alltoall pattern supplies the quadratic pair structure the
 // aggregation exists for.
 func TestCrossScaleWideJobParity(t *testing.T) {
+	t.Cleanup(func() {
+		costmodel.SetAggregationMode(true)
+		cluster.SetReferenceMode(false)
+		costmodel.SetReferenceMode(false)
+	})
 	for _, shape := range scaleShapes {
 		if shape.leaves < 512 {
 			continue
@@ -222,6 +227,10 @@ func TestCrossScaleWideJobParity(t *testing.T) {
 // property — selection compares candidate costs, so a single diverging
 // bit can flip the allocation.
 func TestCrossScaleAdaptiveSelect(t *testing.T) {
+	t.Cleanup(func() {
+		cluster.SetReferenceMode(false)
+		costmodel.SetReferenceMode(false)
+	})
 	sel := core.MustNew(core.Adaptive)
 	for _, shape := range scaleShapes {
 		t.Run(fmt.Sprintf("L=%d", shape.leaves), func(t *testing.T) {
