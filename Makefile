@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check build vet lint lint-allow test race fuzz-smoke verify bench bench-smoke bench-compare coverage
+.PHONY: check build vet lint lint-allow test race fuzz-smoke verify bench bench-smoke bench-compare coverage soak soak-smoke
 
 check: vet lint build race fuzz-smoke
 
@@ -54,11 +54,11 @@ verify:
 # Fast-path micro-benchmarks with their opt/ref speedup pairs, recorded as
 # a dated JSON artifact (BENCH_<date>.json, committed for the perf PRs).
 BENCHTIME ?= 1s
-BENCH_PKGS = ./internal/core ./internal/costmodel ./internal/sim ./internal/cluster ./internal/sweep
+BENCH_PKGS = ./internal/core ./internal/costmodel ./internal/sim ./internal/cluster ./internal/sweep ./internal/daemon
 # -p 1 keeps package test binaries sequential: concurrently running
 # packages contaminate each other's timings.
 bench:
-	$(GO) test -p 1 -run '^$$' -bench 'BenchmarkSelect|BenchmarkJobCost$$|BenchmarkJobCost512Leaves|BenchmarkJobCost4096LeavesWide|BenchmarkRunContinuous$$|BenchmarkAllocateRelease|BenchmarkSweepGrid' \
+	$(GO) test -p 1 -run '^$$' -bench 'BenchmarkSelect|BenchmarkJobCost$$|BenchmarkJobCost512Leaves|BenchmarkJobCost4096LeavesWide|BenchmarkRunContinuous$$|BenchmarkAllocateRelease|BenchmarkSweepGrid|BenchmarkDaemonSubmitThroughput' \
 		-benchtime $(BENCHTIME) -benchmem -json $(BENCH_PKGS) > BENCH_$$(date +%F).json
 	@echo "wrote BENCH_$$(date +%F).json"
 
@@ -72,3 +72,15 @@ bench-smoke:
 # BENCHTIME=....
 bench-compare:
 	BENCHTIME=$(BENCHTIME) sh scripts/bench-compare.sh $(BENCH_OUT)
+
+# Closed-loop serving soak: ~20s of pipelined Theta-shaped bursty load
+# against an in-process daemon, failing below the sustained ops/sec
+# floor. SOAK_FLOOR is deliberately conservative (shared CI runners); a
+# healthy workstation sustains two orders of magnitude more.
+SOAK_FLOOR ?= 1000
+soak:
+	$(GO) run ./cmd/loadgen -mode pipe -conns 4 -batch 64 -duration 20s -floor $(SOAK_FLOOR)
+
+# CI smoke variant: a few seconds, same floor semantics.
+soak-smoke:
+	$(GO) run ./cmd/loadgen -mode pipe -conns 2 -batch 64 -duration 3s -jobs 5000 -floor $(SOAK_FLOOR)

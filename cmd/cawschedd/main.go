@@ -42,19 +42,20 @@ func main() {
 		costMode  = flag.String("costmode", "effective-hops", "cost function: effective-hops, hop-bytes, distance-only")
 		statePath = flag.String("state", "", "state file: restored at start if present, saved on shutdown (slurmctld StateSaveLocation)")
 		confPath  = flag.String("conf", "", "slurm.conf providing TopologyFile/SchedulerType/JobAware* defaults")
+		depth     = flag.Int("depth", daemon.DefaultQueueDepth, "per-connection pending-request queue depth (backpressure threshold)")
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if err := run(*listen, *machine, *topoPath, *algName, *timeScale, *noBF, *costMode,
-		*statePath, *confPath, explicit); err != nil {
+		*statePath, *confPath, *depth, explicit); err != nil {
 		fmt.Fprintln(os.Stderr, "cawschedd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen, machine, topoPath, algName string, timeScale float64, noBF bool,
-	costMode, statePath, confPath string, explicit map[string]bool) error {
+	costMode, statePath, confPath string, depth int, explicit map[string]bool) error {
 	var topo *topology.Topology
 	var err error
 	if confPath != "" {
@@ -122,6 +123,7 @@ func run(listen, machine, topoPath, algName string, timeScale float64, noBF bool
 		}
 	}
 	srv := daemon.NewServer(d)
+	srv.SetQueueDepth(depth)
 	if err := srv.Listen(listen); err != nil {
 		return err
 	}

@@ -128,6 +128,16 @@ func run(addr, sub string, rest []string) error {
 			fmt.Printf("requeues %d, lost %.2f node-hours to node failures\n",
 				resp.Requeues, resp.LostNodeHours)
 		}
+		if l := resp.Latency; l != nil {
+			if l.Acks > 0 {
+				fmt.Printf("submit-ack latency (wall, last %d acks): p50 %.3fms p95 %.3fms p99 %.3fms\n",
+					l.Acks, l.WallP50Ms, l.WallP95Ms, l.WallP99Ms)
+			}
+			if l.Starts > 0 {
+				fmt.Printf("queue wait (virtual, last %d starts): p50 %.1fs p95 %.1fs p99 %.1fs\n",
+					l.Starts, l.WaitP50, l.WaitP95, l.WaitP99)
+			}
+		}
 		return nil
 
 	case "cancel":

@@ -1,0 +1,397 @@
+// Command loadgen replays seeded, Theta-shaped bursty submission traffic
+// against a scheduling daemon and reports sustained throughput and
+// submit-ack latency percentiles as JSON.
+//
+// The trace comes from the same synthesis the simulator uses (power-of-two
+// heavy sizes, lognormal runtimes, bursty diurnal arrivals), so the served
+// workload is the paper's workload, not a synthetic uniform stream. Two
+// modes bracket the serving architecture:
+//
+//	-mode seq   one frame per job, wait for each ack — the pre-batching
+//	            daemon's only mode (one scheduling pass per submit)
+//	-mode pipe  submit_batch frames of -batch jobs, pipelined without
+//	            waiting — one scheduling pass per drained batch
+//
+// Usage:
+//
+//	loadgen -mode pipe -conns 4 -batch 64 -duration 20s          # in-process daemon
+//	loadgen -addr 127.0.0.1:6817 -mode seq -duration 10s         # external daemon
+//	loadgen -mode pipe -floor 2000                               # soak gate: exit 1 below floor
+//
+// With -addr unset, loadgen runs its own daemon + server in-process on the
+// -machine topology, so a single command is a full closed-loop benchmark.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/workload"
+)
+
+type report struct {
+	Mode       string  `json:"mode"`
+	Machine    string  `json:"machine"`
+	Conns      int     `json:"conns"`
+	Batch      int     `json:"batch"`
+	Seed       int64   `json:"seed"`
+	TargetOps  float64 `json:"target_ops_per_sec,omitempty"`
+	DurationS  float64 `json:"duration_s"`
+	JobsSent   int64   `json:"jobs_sent"`
+	JobsAcked  int64   `json:"jobs_acked"`
+	BusyRetry  int64   `json:"busy_retries"`
+	BusyDrop   int64   `json:"busy_dropped"`
+	Errors     int64   `json:"errors"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	AckP50Ms   float64 `json:"ack_p50_ms"`
+	AckP95Ms   float64 `json:"ack_p95_ms"`
+	AckP99Ms   float64 `json:"ack_p99_ms"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "daemon address (empty: run an in-process daemon)")
+		machine   = flag.String("machine", "Theta", "machine preset for the trace shape (and the in-process daemon)")
+		mode      = flag.String("mode", "pipe", "seq (one frame per job, wait each ack) or pipe (pipelined submit_batch frames)")
+		conns     = flag.Int("conns", 4, "concurrent connections")
+		batch     = flag.Int("batch", 64, "jobs per submit_batch frame (pipe mode)")
+		jobs      = flag.Int("jobs", 20000, "trace length; the trace repeats if the duration outlasts it")
+		duration  = flag.Duration("duration", 20*time.Second, "how long to offer load")
+		ops       = flag.Float64("ops", 0, "target sustained submit ops/sec, bursty-shaped (0 = as fast as possible)")
+		seed      = flag.Int64("seed", 1, "trace seed")
+		timeScale = flag.Float64("timescale", 1000, "in-process daemon time compression")
+		depth     = flag.Int("depth", daemon.DefaultQueueDepth, "in-process server queue depth")
+		algName   = flag.String("alg", "adaptive", "in-process daemon allocation algorithm")
+		floor     = flag.Float64("floor", 0, "exit nonzero if ops/sec lands below this (soak gate)")
+		out       = flag.String("out", "", "write the JSON report here instead of stdout")
+	)
+	flag.Parse()
+	if err := run(*addr, *machine, *mode, *conns, *batch, *jobs, *duration, *ops,
+		*seed, *timeScale, *depth, *algName, *floor, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, machine, mode string, conns, batch, jobs int, duration time.Duration,
+	ops float64, seed int64, timeScale float64, depth int, algName string,
+	floor float64, out string) error {
+	if mode != "seq" && mode != "pipe" {
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if conns < 1 || batch < 1 || jobs < 1 {
+		return fmt.Errorf("conns, batch and jobs must be positive")
+	}
+	preset, err := workload.PresetByName(machine)
+	if err != nil {
+		return err
+	}
+	specs, arrivals := synthesize(preset, jobs, seed, ops)
+
+	if addr == "" {
+		alg, err := core.ParseAlgorithm(algName)
+		if err != nil {
+			return err
+		}
+		d, err := daemon.New(daemon.Config{
+			Topology:  preset.NewTopology(),
+			Algorithm: alg,
+			TimeScale: timeScale,
+		})
+		if err != nil {
+			return err
+		}
+		srv := daemon.NewServer(d)
+		srv.SetQueueDepth(depth)
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			return err
+		}
+		go srv.Serve()
+		defer srv.Close()
+		addr = srv.Addr().String()
+	}
+
+	frameJobs := 1
+	if mode == "pipe" {
+		frameJobs = batch
+	}
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	workers := make([]*worker, conns)
+	for w := 0; w < conns; w++ {
+		workers[w] = &worker{
+			addr: addr, mode: mode, frameJobs: frameJobs,
+			specs: specs, arrivals: arrivals,
+			first: w, stride: conns,
+			start: start, deadline: deadline,
+		}
+		wg.Add(1)
+		go workers[w].run(&wg)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := report{
+		Mode: mode, Machine: machine, Conns: conns, Batch: frameJobs,
+		Seed: seed, TargetOps: ops, DurationS: elapsed, QueueDepth: depth,
+	}
+	var lats []float64
+	for _, w := range workers {
+		rep.JobsSent += w.sent
+		rep.JobsAcked += w.acked
+		rep.BusyRetry += w.busyRetry
+		rep.BusyDrop += w.busyDrop
+		rep.Errors += w.errs
+		lats = append(lats, w.lat...)
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.JobsAcked) / elapsed
+	}
+	sort.Float64s(lats)
+	rep.AckP50Ms = pct(lats, 0.50)
+	rep.AckP95Ms = pct(lats, 0.95)
+	rep.AckP99Ms = pct(lats, 0.99)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(string(enc))
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d transport errors", rep.Errors)
+	}
+	if floor > 0 && rep.OpsPerSec < floor {
+		return fmt.Errorf("sustained %.0f ops/sec below floor %.0f", rep.OpsPerSec, floor)
+	}
+	return nil
+}
+
+// synthesize builds the seeded submit specs and (when a target rate is
+// set) their send offsets: the preset's bursty arrival shape rescaled so
+// the mean rate matches the target, preserving burstiness.
+func synthesize(preset workload.Preset, jobs int, seed int64, ops float64) ([]daemon.SubmitSpec, []time.Duration) {
+	trace := preset.Synthesize(jobs, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x10adc0de))
+	patterns := []string{"RD", "RHVD", "Binomial", "Ring"}
+	specs := make([]daemon.SubmitSpec, len(trace.Jobs))
+	for i, j := range trace.Jobs {
+		s := daemon.SubmitSpec{Nodes: j.Nodes, Runtime: j.Runtime}
+		if rng.Float64() < 0.4 {
+			s.Class = "comm"
+			s.Pattern = patterns[rng.Intn(len(patterns))]
+			s.CommShare = 0.5 + 0.4*rng.Float64()
+		}
+		specs[i] = s
+	}
+	if ops <= 0 || len(trace.Jobs) == 0 {
+		return specs, nil
+	}
+	span := trace.Jobs[len(trace.Jobs)-1].Submit - trace.Jobs[0].Submit
+	if span <= 0 {
+		return specs, nil
+	}
+	scale := float64(len(trace.Jobs)) / span / ops // trace rate / target rate
+	base := trace.Jobs[0].Submit
+	arrivals := make([]time.Duration, len(trace.Jobs))
+	for i, j := range trace.Jobs {
+		arrivals[i] = time.Duration((j.Submit - base) * scale * float64(time.Second))
+	}
+	return specs, arrivals
+}
+
+// frame is one in-flight wire request and the jobs it carries.
+type frame struct {
+	req    daemon.Request
+	jobs   int
+	arrIdx int       // trace index of the first job (pacing)
+	sent   time.Time // first send; busy retries keep it (latency includes backoff)
+}
+
+// worker drives one connection: a sender goroutine paces frames out and a
+// receiver (run inline) matches in-order responses back to frames,
+// recycling busy rejections to the sender for retry.
+type worker struct {
+	addr      string
+	mode      string
+	frameJobs int
+	specs     []daemon.SubmitSpec
+	arrivals  []time.Duration
+	first     int
+	stride    int
+	start     time.Time
+	deadline  time.Time
+
+	sent      int64
+	acked     int64
+	busyRetry int64
+	busyDrop  int64
+	errs      int64
+	lat       []float64
+}
+
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	p, err := daemon.DialPipe(w.addr)
+	if err != nil {
+		w.errs++
+		return
+	}
+	defer p.Close()
+
+	outstanding := make(chan *frame, 8192)
+	resend := make(chan *frame, 8192)
+	var senderDone atomic.Bool
+	go w.send(p, outstanding, resend, &senderDone)
+
+	for f := range outstanding {
+		resp, err := p.Recv()
+		if err != nil {
+			w.errs++
+			// Drain without blocking the sender's channel sends.
+			for range outstanding {
+			}
+			return
+		}
+		if resp.Retryable {
+			if !senderDone.Load() {
+				select {
+				case resend <- f:
+					w.busyRetry += int64(f.jobs)
+					continue
+				default:
+				}
+			}
+			w.busyDrop += int64(f.jobs)
+			continue
+		}
+		ms := time.Since(f.sent).Seconds() * 1e3
+		n := f.jobs
+		if len(resp.Batch) > 0 {
+			n = 0
+			for _, br := range resp.Batch {
+				if br.Error == "" {
+					n++
+				}
+			}
+		} else if !resp.Ok {
+			n = 0
+		}
+		w.acked += int64(n)
+		for i := 0; i < f.jobs; i++ {
+			w.lat = append(w.lat, ms)
+		}
+	}
+}
+
+func (w *worker) send(p *daemon.Pipe, outstanding chan *frame, resend chan *frame, done *atomic.Bool) {
+	defer func() {
+		done.Store(true)
+		p.Flush()
+		close(outstanding)
+	}()
+	idx := w.first
+	cycles := 0 // wraps around the trace, shifting pacing by a full span
+	unflushed := 0
+	for {
+		var f *frame
+		select {
+		case f = <-resend:
+		default:
+		}
+		if f == nil {
+			f = w.nextFrame(&idx, &cycles)
+		}
+		if time.Now().After(w.deadline) {
+			return
+		}
+		if w.arrivals != nil && f.sent.IsZero() {
+			// Pace to the trace's (rescaled) burst shape.
+			span := w.arrivals[len(w.arrivals)-1]
+			due := w.start.Add(w.arrivals[f.arrIdx] + time.Duration(cycles)*span)
+			if wait := time.Until(due); wait > 0 {
+				p.Flush()
+				unflushed = 0
+				if time.Now().Add(wait).After(w.deadline) {
+					time.Sleep(time.Until(w.deadline))
+					return
+				}
+				time.Sleep(wait)
+			}
+		}
+		if f.sent.IsZero() {
+			f.sent = time.Now()
+			w.sent += int64(f.jobs)
+		}
+		if err := p.Send(f.req); err != nil {
+			w.errs++
+			return
+		}
+		unflushed++
+		if w.mode == "seq" || unflushed >= 16 {
+			if err := p.Flush(); err != nil {
+				w.errs++
+				return
+			}
+			unflushed = 0
+		}
+		outstanding <- f
+		if w.mode == "seq" {
+			// One in flight at a time: the pre-batching client's shape.
+			for len(outstanding) > 0 {
+				if time.Now().After(w.deadline) {
+					return
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// nextFrame shards the trace round-robin across connections and wraps
+// around (bumping the cycle counter) when the duration outlasts it.
+func (w *worker) nextFrame(idx *int, cycles *int) *frame {
+	n := len(w.specs)
+	f := &frame{arrIdx: *idx % n}
+	*cycles = *idx / n
+	if w.frameJobs == 1 {
+		s := w.specs[*idx%n]
+		f.req = daemon.Request{Op: "submit", Nodes: s.Nodes, Runtime: s.Runtime,
+			Class: s.Class, Pattern: s.Pattern, CommShare: s.CommShare}
+		f.jobs = 1
+		*idx += w.stride
+		return f
+	}
+	batch := make([]daemon.SubmitSpec, 0, w.frameJobs)
+	for len(batch) < w.frameJobs {
+		batch = append(batch, w.specs[*idx%n])
+		*idx += w.stride
+	}
+	f.req = daemon.Request{Op: "submit_batch", Batch: batch}
+	f.jobs = len(batch)
+	return f
+}
+
+func pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -50,6 +50,11 @@ var DefaultNoAllocConfig = NoAllocConfig{
 			"appendAvoiding",
 			"snapshotLeaves",
 		},
+		"repro/internal/daemon": {
+			"readFrame",
+			"latRing.recordAck",
+			"latRing.recordWait",
+		},
 	},
 }
 

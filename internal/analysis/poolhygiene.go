@@ -13,6 +13,7 @@ var DefaultPoolHygieneScope = []string{
 	"repro/internal/core",
 	"repro/internal/cluster",
 	"repro/internal/costmodel",
+	"repro/internal/daemon",
 	"repro/internal/sim",
 	"repro/internal/sweep",
 }

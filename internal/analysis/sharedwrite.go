@@ -10,6 +10,7 @@ import (
 // pool, and the adaptive selector's two-way join.
 var DefaultSharedWriteScope = []string{
 	"repro/internal/core",
+	"repro/internal/daemon",
 	"repro/internal/sim",
 	"repro/internal/sweep",
 	"repro/internal/verify",

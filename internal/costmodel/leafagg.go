@@ -275,11 +275,7 @@ func buildLeafSchedule(lay *cluster.Layout, nodes []int, steps []collective.Step
 // bit-identical.
 //
 //caws:noalloc
-var sink []float64
-
 func leafHops(st *cluster.State, lay *cluster.Layout, li, lj int32) float64 {
-	leak := make([]float64, 4)
-	sink = leak
 	d := lay.Dist(li, lj)
 	if li == lj {
 		return d * (1 + st.CommShare(int(li)))

@@ -1,0 +1,80 @@
+package daemon
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// benchServer stands up an in-process daemon + TCP server. A huge time
+// scale makes every 1-second job complete before the next op, so the
+// pending queue stays shallow and ns/op measures the serving path, not
+// queue growth.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	d, err := New(Config{
+		Topology:  topology.PaperExample(),
+		Algorithm: core.Adaptive,
+		TimeScale: 1e9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(d)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// BenchmarkDaemonSubmitThroughput measures the one-op-per-pass serving
+// path: a synchronous client submits one job per frame and waits for
+// each ack (the pre-batching daemon's only mode). ns/op is per job.
+func BenchmarkDaemonSubmitThroughput(b *testing.B) {
+	srv := benchServer(b)
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req := Request{Nodes: 1, Runtime: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Submit(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDaemonSubmitThroughputBatched measures the batched path: 64
+// jobs per submit_batch frame, one engine wakeup and one scheduling pass
+// per frame. ns/op is per job, directly comparable with the sequential
+// benchmark above.
+func BenchmarkDaemonSubmitThroughputBatched(b *testing.B) {
+	srv := benchServer(b)
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	const chunk = 64
+	specs := make([]SubmitSpec, chunk)
+	for i := range specs {
+		specs[i] = SubmitSpec{Nodes: 1, Runtime: 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += chunk {
+		n := chunk
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		if _, err := c.SubmitBatch(specs[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,9 @@ type Config struct {
 	DisableBackfill bool
 	// CostMode selects the communication cost function.
 	CostMode costmodel.Mode
+	// Clock overrides the wall-clock source (tests inject deterministic
+	// clocks for the batching differential proofs); nil means time.Now.
+	Clock func() time.Time
 }
 
 type jobState uint8
@@ -91,6 +94,10 @@ type Daemon struct {
 	cmds chan func()
 	quit chan struct{}
 
+	// clock is the wall-clock source (time.Now in production; tests inject
+	// a deterministic clock for the batching differential proofs). Set
+	// before the engine starts and never mutated concurrently.
+	clock    func() time.Time
 	wallBase time.Time
 	timer    *time.Timer
 
@@ -99,6 +106,19 @@ type Daemon struct {
 	queue     []*jobRecord
 	running   map[int64]*jobRecord
 	completed []metrics.JobResult
+	lat       latRing
+}
+
+// pendingOp is one in-flight protocol operation. The server's connection
+// pipelines ring these through reader → engine → writer; the direct API
+// methods wrap each call in a one-op batch.
+type pendingOp struct {
+	req  Request
+	resp Response
+	recv time.Time // wall receipt time, the submit-ack latency base
+	// pass marks an op whose response was prefilled before the engine
+	// (busy backpressure, malformed frame): the engine must not run it.
+	pass bool
 }
 
 // New builds a daemon and starts its engine goroutine. Call Close to stop
@@ -122,6 +142,10 @@ func New(cfg Config) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = time.Now
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		st:       cluster.New(cfg.Topology),
@@ -129,7 +153,8 @@ func New(cfg Config) (*Daemon, error) {
 		defSel:   defSel,
 		cmds:     make(chan func()),
 		quit:     make(chan struct{}),
-		wallBase: time.Now(),
+		clock:    clk,
+		wallBase: clk(),
 		timer:    time.NewTimer(time.Hour),
 		nextID:   1,
 		jobs:     make(map[int64]*jobRecord),
@@ -186,7 +211,7 @@ func (d *Daemon) call(f func() Response) Response {
 
 // now returns the current virtual time.
 func (d *Daemon) now() float64 {
-	return time.Since(d.wallBase).Seconds() * d.cfg.TimeScale
+	return d.clock().Sub(d.wallBase).Seconds() * d.cfg.TimeScale
 }
 
 // advance completes every running job whose virtual end time has passed.
@@ -373,6 +398,8 @@ func (d *Daemon) startJob(r *jobRecord, v float64) error {
 	r.start = v
 	r.end = v + pl.Exec
 	d.running[int64(r.job.ID)] = r
+	// Queue-wait sample: virtual seconds from (first) submission to start.
+	d.lat.recordWait(v - r.submit)
 	return nil
 }
 
@@ -407,121 +434,296 @@ func (d *Daemon) info(r *jobRecord) JobInfo {
 	return ji
 }
 
-// Submit enqueues a job and returns its ID.
-func (d *Daemon) Submit(req Request) Response {
-	return d.call(func() Response {
-		if req.Nodes < 1 || req.Nodes > d.cfg.Topology.NumNodes() {
-			return Response{Error: fmt.Sprintf("nodes %d out of range 1..%d",
-				req.Nodes, d.cfg.Topology.NumNodes())}
-		}
-		if req.Runtime <= 0 {
-			return Response{Error: "runtime must be positive"}
-		}
-		class := cluster.ComputeIntensive
-		switch req.Class {
-		case "", "compute":
-		case "comm":
-			class = cluster.CommIntensive
-		default:
-			return Response{Error: fmt.Sprintf("unknown class %q", req.Class)}
-		}
-		mix := collective.Mix{ComputeFrac: 1}
-		pattern := collective.RD
-		if class == cluster.CommIntensive {
-			share := req.CommShare
-			if share == 0 {
-				share = 0.7
+// execBatch runs a drained batch of protocol ops in a single engine
+// wakeup. Runs of consecutive submit/submit_batch ops are admitted
+// together — one advance, every job validated and enqueued in batch (=
+// submit-ID) order, then ONE scheduling pass — which is the daemon's
+// throughput lever: a pipelined burst of N submits costs one queue scan
+// instead of N. Every other op keeps its exact one-at-a-time semantics,
+// so a sequential client observes byte-identical responses to the
+// pre-batching engine (pinned by TestSequentialBatchIdentity). Responses
+// are filled into the ops in place; ops with pass set are skipped.
+func (d *Daemon) execBatch(ops []*pendingOp) {
+	if len(ops) == 0 {
+		return
+	}
+	resp := d.call(func() Response {
+		for i := 0; i < len(ops); {
+			if ops[i].pass {
+				i++
+				continue
 			}
-			if share < 0 || share > 1 {
-				return Response{Error: fmt.Sprintf("commshare %v out of [0,1]", share)}
+			if !isSubmitOp(ops[i].req.Op) {
+				ops[i].resp = d.dispatchLocked(&ops[i].req)
+				i++
+				continue
 			}
-			if req.Pattern != "" {
-				p, err := collective.ParsePattern(req.Pattern)
-				if err != nil {
-					return Response{Error: err.Error()}
-				}
-				pattern = p
+			j := i
+			for j < len(ops) && !ops[j].pass && isSubmitOp(ops[j].req.Op) {
+				j++
 			}
-			mix = collective.SinglePattern(pattern, share)
+			d.advance()
+			for k := i; k < j; k++ {
+				d.admitLocked(ops[k])
+			}
+			d.schedule()
+			d.rearm()
+			for k := i; k < j; k++ {
+				d.ackLocked(ops[k])
+			}
+			i = j
 		}
-		if req.After != 0 {
-			if _, ok := d.jobs[req.After]; !ok {
-				return Response{Error: fmt.Sprintf("dependency job %d unknown", req.After)}
-			}
-			if req.After >= d.nextID {
-				return Response{Error: fmt.Sprintf("dependency job %d invalid", req.After)}
+		return Response{Ok: true}
+	})
+	if !resp.Ok {
+		// Engine shut down mid-batch: fail every op still unfilled.
+		for _, op := range ops {
+			if !op.pass && !op.resp.Ok && op.resp.Error == "" {
+				op.resp = resp
 			}
 		}
+	}
+}
+
+func isSubmitOp(op string) bool { return op == "submit" || op == "submit_batch" }
+
+// exec1 runs one op as a singleton batch — the direct API path.
+func (d *Daemon) exec1(req Request) Response {
+	op := pendingOp{req: req, recv: d.clock()}
+	ops := [1]*pendingOp{&op}
+	d.execBatch(ops[:])
+	return op.resp
+}
+
+// admitLocked validates and enqueues a submit or submit_batch op (engine
+// goroutine, advance already done; the caller runs the scheduling pass).
+func (d *Daemon) admitLocked(op *pendingOp) {
+	switch op.req.Op {
+	case "submit":
+		spec := op.req.Spec()
+		op.resp = d.submitLocked(&spec)
+	case "submit_batch":
+		if len(op.req.Batch) == 0 {
+			op.resp = Response{Error: "submit_batch: empty batch"}
+			return
+		}
+		results := make([]BatchResult, len(op.req.Batch))
+		for i := range op.req.Batch {
+			r := d.submitLocked(&op.req.Batch[i])
+			if r.Ok {
+				results[i] = BatchResult{ID: r.ID}
+			} else {
+				results[i] = BatchResult{Error: r.Error}
+			}
+		}
+		op.resp = Response{Ok: true, Batch: results}
+	}
+}
+
+// ackLocked records submit-ack wall latency once the scheduling pass that
+// admitted the op has completed (engine goroutine).
+func (d *Daemon) ackLocked(op *pendingOp) {
+	if op.recv.IsZero() {
+		return
+	}
+	ms := d.clock().Sub(op.recv).Seconds() * 1e3
+	switch op.req.Op {
+	case "submit":
+		d.lat.recordAck(ms)
+	case "submit_batch":
+		for range op.req.Batch {
+			d.lat.recordAck(ms)
+		}
+	}
+}
+
+// submitLocked validates one submission and enqueues it (engine
+// goroutine; no advance, no scheduling pass — the batch owner does both).
+func (d *Daemon) submitLocked(spec *SubmitSpec) Response {
+	if spec.Nodes < 1 || spec.Nodes > d.cfg.Topology.NumNodes() {
+		return Response{Error: fmt.Sprintf("nodes %d out of range 1..%d",
+			spec.Nodes, d.cfg.Topology.NumNodes())}
+	}
+	if spec.Runtime <= 0 {
+		return Response{Error: "runtime must be positive"}
+	}
+	class := cluster.ComputeIntensive
+	switch spec.Class {
+	case "", "compute":
+	case "comm":
+		class = cluster.CommIntensive
+	default:
+		return Response{Error: fmt.Sprintf("unknown class %q", spec.Class)}
+	}
+	mix := collective.Mix{ComputeFrac: 1}
+	pattern := collective.RD
+	if class == cluster.CommIntensive {
+		share := spec.CommShare
+		if share == 0 {
+			share = 0.7
+		}
+		if share < 0 || share > 1 {
+			return Response{Error: fmt.Sprintf("commshare %v out of [0,1]", share)}
+		}
+		if spec.Pattern != "" {
+			p, err := collective.ParsePattern(spec.Pattern)
+			if err != nil {
+				return Response{Error: err.Error()}
+			}
+			pattern = p
+		}
+		mix = collective.SinglePattern(pattern, share)
+	}
+	if spec.After != 0 {
+		if _, ok := d.jobs[spec.After]; !ok {
+			return Response{Error: fmt.Sprintf("dependency job %d unknown", spec.After)}
+		}
+		if spec.After >= d.nextID {
+			return Response{Error: fmt.Sprintf("dependency job %d invalid", spec.After)}
+		}
+	}
+	id := d.nextID
+	d.nextID++
+	r := &jobRecord{
+		job: workload.Job{
+			ID:      cluster.JobID(id),
+			Submit:  d.now(),
+			Runtime: spec.Runtime,
+			Nodes:   spec.Nodes,
+			Class:   class,
+			Mix:     mix,
+		},
+		name:    spec.Name,
+		pattern: pattern,
+		after:   spec.After,
+		state:   stateQueued,
+		submit:  d.now(),
+	}
+	d.jobs[id] = r
+	d.queue = append(d.queue, r)
+	return Response{Ok: true, ID: id}
+}
+
+// dispatchLocked executes one non-batched op with its classic semantics
+// (engine goroutine). Submit ops route through the batch machinery so
+// the one-pass-per-batch invariant cannot be bypassed.
+func (d *Daemon) dispatchLocked(req *Request) Response {
+	switch req.Op {
+	case "submit", "submit_batch":
+		op := pendingOp{req: *req}
 		d.advance()
-		id := d.nextID
-		d.nextID++
-		r := &jobRecord{
-			job: workload.Job{
-				ID:      cluster.JobID(id),
-				Submit:  d.now(),
-				Runtime: req.Runtime,
-				Nodes:   req.Nodes,
-				Class:   class,
-				Mix:     mix,
-			},
-			name:    req.Name,
-			pattern: pattern,
-			after:   req.After,
-			state:   stateQueued,
-			submit:  d.now(),
-		}
-		d.jobs[id] = r
-		d.queue = append(d.queue, r)
+		d.admitLocked(&op)
 		d.schedule()
 		d.rearm()
-		return Response{Ok: true, ID: id}
-	})
+		return op.resp
+	case "status":
+		d.advance()
+		d.schedule()
+		d.rearm()
+		r, ok := d.jobs[req.ID]
+		if !ok {
+			return Response{Error: fmt.Sprintf("unknown job %d", req.ID)}
+		}
+		ji := d.info(r)
+		return Response{Ok: true, Job: &ji}
+	case "cancel":
+		return d.cancelLocked(req.ID)
+	case "queue":
+		d.advance()
+		d.schedule()
+		d.rearm()
+		resp := Response{Ok: true}
+		for _, r := range d.queue {
+			resp.Jobs = append(resp.Jobs, d.info(r))
+		}
+		return resp
+	case "running":
+		d.advance()
+		d.schedule()
+		d.rearm()
+		resp := Response{Ok: true}
+		for _, r := range d.runningOrdered() {
+			resp.Jobs = append(resp.Jobs, d.info(r))
+		}
+		return resp
+	case "info":
+		return d.infoLocked()
+	case "stats":
+		d.advance()
+		d.schedule()
+		d.rearm()
+		s := metrics.Summarize(d.completed)
+		return Response{
+			Ok:             true,
+			Completed:      s.Jobs,
+			TotalExecHours: s.TotalExecHours,
+			TotalWaitHours: s.TotalWaitHours,
+			AvgCommCost:    s.AvgCommCost,
+			Requeues:       s.Requeues,
+			LostNodeHours:  s.LostNodeHours,
+			Latency:        d.lat.summary(),
+		}
+	case "drain":
+		return d.nodeOpLocked(req.Node, (*cluster.State).Drain)
+	case "resume":
+		return d.nodeOpLocked(req.Node, (*cluster.State).Resume)
+	case "fail":
+		return d.failLocked(req.Node)
+	case "shutdown":
+		return Response{Ok: true}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Submit enqueues a job and returns its ID.
+func (d *Daemon) Submit(req Request) Response {
+	req.Op = "submit"
+	return d.exec1(req)
+}
+
+// SubmitBatch admits a batch of jobs in one engine wakeup with a single
+// scheduling pass, returning per-item results in submission order.
+func (d *Daemon) SubmitBatch(specs []SubmitSpec) Response {
+	return d.exec1(Request{Op: "submit_batch", Batch: specs})
 }
 
 // Status reports one job.
 func (d *Daemon) Status(id int64) Response {
-	return d.call(func() Response {
-		d.advance()
-		d.schedule()
-		d.rearm()
-		r, ok := d.jobs[id]
-		if !ok {
-			return Response{Error: fmt.Sprintf("unknown job %d", id)}
-		}
-		ji := d.info(r)
-		return Response{Ok: true, Job: &ji}
-	})
+	return d.exec1(Request{Op: "status", ID: id})
 }
 
 // Cancel removes a queued job or kills a running one.
 func (d *Daemon) Cancel(id int64) Response {
-	return d.call(func() Response {
-		d.advance()
-		r, ok := d.jobs[id]
-		if !ok {
-			return Response{Error: fmt.Sprintf("unknown job %d", id)}
-		}
-		switch r.state {
-		case stateQueued:
-			for i, q := range d.queue {
-				if q == r {
-					d.queue = append(d.queue[:i], d.queue[i+1:]...)
-					break
-				}
+	return d.exec1(Request{Op: "cancel", ID: id})
+}
+
+func (d *Daemon) cancelLocked(id int64) Response {
+	d.advance()
+	r, ok := d.jobs[id]
+	if !ok {
+		return Response{Error: fmt.Sprintf("unknown job %d", id)}
+	}
+	switch r.state {
+	case stateQueued:
+		for i, q := range d.queue {
+			if q == r {
+				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				break
 			}
-			r.state = stateCancelled
-		case stateRunning:
-			delete(d.running, id)
-			_ = d.st.Release(r.job.ID)
-			r.state = stateCancelled
-			r.end = d.now()
-		case stateCompleted, stateCancelled:
-			return Response{Error: fmt.Sprintf("job %d already %s", id, r.state)}
 		}
-		d.schedule()
-		d.rearm()
-		return Response{Ok: true, ID: id}
-	})
+		r.state = stateCancelled
+	case stateRunning:
+		delete(d.running, id)
+		_ = d.st.Release(r.job.ID)
+		r.state = stateCancelled
+		r.end = d.now()
+	case stateCompleted, stateCancelled:
+		return Response{Error: fmt.Sprintf("job %d already %s", id, r.state)}
+	}
+	d.schedule()
+	d.rearm()
+	return Response{Ok: true, ID: id}
 }
 
 // Fail takes a node (by name) down hard: unlike Drain, a job running on
@@ -530,25 +732,27 @@ func (d *Daemon) Cancel(id int64) Response {
 // mirroring SLURM's node-failure requeue and the simulator's fault
 // semantics. The response carries the killed job's ID when there was one.
 func (d *Daemon) Fail(node string) Response {
-	return d.call(func() Response {
-		id := d.cfg.Topology.NodeID(node)
-		if id < 0 {
-			return Response{Error: fmt.Sprintf("unknown node %q", node)}
-		}
-		d.advance()
-		victim, err := d.st.Fail(id)
-		if err != nil {
-			return Response{Error: err.Error()}
-		}
-		resp := Response{Ok: true}
-		if victim >= 0 {
-			d.requeueJob(int64(victim))
-			resp.ID = int64(victim)
-		}
-		d.schedule()
-		d.rearm()
-		return resp
-	})
+	return d.exec1(Request{Op: "fail", Node: node})
+}
+
+func (d *Daemon) failLocked(node string) Response {
+	id := d.cfg.Topology.NodeID(node)
+	if id < 0 {
+		return Response{Error: fmt.Sprintf("unknown node %q", node)}
+	}
+	d.advance()
+	victim, err := d.st.Fail(id)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	resp := Response{Ok: true}
+	if victim >= 0 {
+		d.requeueJob(int64(victim))
+		resp.ID = int64(victim)
+	}
+	d.schedule()
+	d.rearm()
+	return resp
 }
 
 // requeueJob kills a running job (its failed node is already marked down
@@ -584,106 +788,69 @@ func (d *Daemon) requeueJob(id int64) {
 // Drain marks a node (by name) ineligible for new allocations; a running
 // job keeps it until completion.
 func (d *Daemon) Drain(node string) Response {
-	return d.nodeOp(node, (*cluster.State).Drain)
+	return d.exec1(Request{Op: "drain", Node: node})
 }
 
 // Resume returns a drained node (by name) to service.
 func (d *Daemon) Resume(node string) Response {
-	return d.nodeOp(node, (*cluster.State).Resume)
+	return d.exec1(Request{Op: "resume", Node: node})
 }
 
-func (d *Daemon) nodeOp(node string, op func(*cluster.State, int) error) Response {
-	return d.call(func() Response {
-		id := d.cfg.Topology.NodeID(node)
-		if id < 0 {
-			return Response{Error: fmt.Sprintf("unknown node %q", node)}
-		}
-		d.advance()
-		if err := op(d.st, id); err != nil {
-			return Response{Error: err.Error()}
-		}
-		d.schedule()
-		d.rearm()
-		return Response{Ok: true}
-	})
+func (d *Daemon) nodeOpLocked(node string, op func(*cluster.State, int) error) Response {
+	id := d.cfg.Topology.NodeID(node)
+	if id < 0 {
+		return Response{Error: fmt.Sprintf("unknown node %q", node)}
+	}
+	d.advance()
+	if err := op(d.st, id); err != nil {
+		return Response{Error: err.Error()}
+	}
+	d.schedule()
+	d.rearm()
+	return Response{Ok: true}
 }
 
 // Queue lists queued jobs in FIFO order.
 func (d *Daemon) Queue() Response {
-	return d.call(func() Response {
-		d.advance()
-		d.schedule()
-		d.rearm()
-		resp := Response{Ok: true}
-		for _, r := range d.queue {
-			resp.Jobs = append(resp.Jobs, d.info(r))
-		}
-		return resp
-	})
+	return d.exec1(Request{Op: "queue"})
 }
 
 // Running lists running jobs ordered by ID.
 func (d *Daemon) Running() Response {
-	return d.call(func() Response {
-		d.advance()
-		d.schedule()
-		d.rearm()
-		resp := Response{Ok: true}
-		ids := make([]int64, 0, len(d.running))
-		for id := range d.running {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		for _, id := range ids {
-			resp.Jobs = append(resp.Jobs, d.info(d.running[id]))
-		}
-		return resp
-	})
+	return d.exec1(Request{Op: "running"})
 }
 
 // Info reports cluster-wide state, sinfo-style.
 func (d *Daemon) Info() Response {
-	return d.call(func() Response {
-		d.advance()
-		d.schedule()
-		d.rearm()
-		resp := Response{
-			Ok:           true,
-			MachineNodes: d.cfg.Topology.NumNodes(),
-			FreeNodes:    d.st.FreeTotal(),
-			DownNodes:    d.st.DownTotal(),
-			FailedNodes:  d.st.FailedTotal(),
-			Algorithm:    d.cfg.Algorithm.String(),
-			VirtualNow:   d.now(),
-		}
-		for l := 0; l < d.cfg.Topology.NumLeaves(); l++ {
-			resp.Leafs = append(resp.Leafs, LeafInfo{
-				Switch: d.cfg.Topology.Leaves[l].Name,
-				Nodes:  d.cfg.Topology.LeafSize(l),
-				Busy:   d.st.LeafBusy(l),
-				Comm:   d.st.LeafComm(l),
-				Ratio:  d.st.CommRatio(l),
-			})
-		}
-		return resp
-	})
+	return d.exec1(Request{Op: "info"})
+}
+
+func (d *Daemon) infoLocked() Response {
+	d.advance()
+	d.schedule()
+	d.rearm()
+	resp := Response{
+		Ok:           true,
+		MachineNodes: d.cfg.Topology.NumNodes(),
+		FreeNodes:    d.st.FreeTotal(),
+		DownNodes:    d.st.DownTotal(),
+		FailedNodes:  d.st.FailedTotal(),
+		Algorithm:    d.cfg.Algorithm.String(),
+		VirtualNow:   d.now(),
+	}
+	for l := 0; l < d.cfg.Topology.NumLeaves(); l++ {
+		resp.Leafs = append(resp.Leafs, LeafInfo{
+			Switch: d.cfg.Topology.Leaves[l].Name,
+			Nodes:  d.cfg.Topology.LeafSize(l),
+			Busy:   d.st.LeafBusy(l),
+			Comm:   d.st.LeafComm(l),
+			Ratio:  d.st.CommRatio(l),
+		})
+	}
+	return resp
 }
 
 // Stats summarises completed jobs.
 func (d *Daemon) Stats() Response {
-	return d.call(func() Response {
-		d.advance()
-		d.schedule()
-		d.rearm()
-		s := metrics.Summarize(d.completed)
-		return Response{
-			Ok:             true,
-			Completed:      s.Jobs,
-			TotalExecHours: s.TotalExecHours,
-			TotalWaitHours: s.TotalWaitHours,
-			AvgCommCost:    s.AvgCommCost,
-			Requeues:       s.Requeues,
-			LostNodeHours:  s.LostNodeHours,
-		}
-	})
+	return d.exec1(Request{Op: "stats"})
 }

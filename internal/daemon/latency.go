@@ -1,0 +1,77 @@
+package daemon
+
+import "sort"
+
+// latWindow is the sliding-window size of the latency reservoir: large
+// enough for stable tail percentiles, small enough that the stats op's
+// copy-and-sort stays cheap. Power of two so the ring index is a mask.
+const latWindow = 4096
+
+// latRing is the engine-owned latency recorder (no locks: all access is
+// on the engine goroutine). Two independent rings: wall-clock submit-ack
+// latency in milliseconds, and virtual queue-wait seconds recorded when a
+// job starts.
+type latRing struct {
+	ack   [latWindow]float64
+	wait  [latWindow]float64
+	nAck  int64
+	nWait int64
+}
+
+// recordAck stores one wall submit-ack sample (milliseconds).
+//
+//caws:noalloc
+func (l *latRing) recordAck(ms float64) {
+	l.ack[l.nAck&(latWindow-1)] = ms
+	l.nAck++
+}
+
+// recordWait stores one virtual queue-wait sample (seconds).
+//
+//caws:noalloc
+func (l *latRing) recordWait(sec float64) {
+	l.wait[l.nWait&(latWindow-1)] = sec
+	l.nWait++
+}
+
+// summary renders the window percentiles, or nil when nothing was
+// recorded. Cold path (stats op): the copy-and-sort allocation is fine.
+func (l *latRing) summary() *LatencyStats {
+	if l.nAck == 0 && l.nWait == 0 {
+		return nil
+	}
+	s := &LatencyStats{Acks: l.nAck, Starts: l.nWait}
+	if n := ringLen(l.nAck); n > 0 {
+		sorted := append([]float64(nil), l.ack[:n]...)
+		sort.Float64s(sorted)
+		s.WallP50Ms = percentile(sorted, 0.50)
+		s.WallP95Ms = percentile(sorted, 0.95)
+		s.WallP99Ms = percentile(sorted, 0.99)
+	}
+	if n := ringLen(l.nWait); n > 0 {
+		sorted := append([]float64(nil), l.wait[:n]...)
+		sort.Float64s(sorted)
+		s.WaitP50 = percentile(sorted, 0.50)
+		s.WaitP95 = percentile(sorted, 0.95)
+		s.WaitP99 = percentile(sorted, 0.99)
+	}
+	return s
+}
+
+// ringLen is the number of valid samples in a ring with n total records.
+func ringLen(n int64) int {
+	if n > latWindow {
+		return latWindow
+	}
+	return int(n)
+}
+
+// percentile is the nearest-rank percentile of a sorted sample
+// (deterministic, no interpolation ties).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,47 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// TestNoAllocServingPaths is the runtime gate of the three-gate
+// zero-alloc contract for the serving hot path (the AST analyzer and the
+// escape-diagnostic script are the other two): once warm, frame reading
+// and latency recording allocate nothing per op.
+func TestNoAllocServingPaths(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the pin")
+	}
+
+	t.Run("readFrame", func(t *testing.T) {
+		data := []byte(`{"op":"submit","nodes":4,"runtime":60,"class":"comm"}` + "\n")
+		sr := bytes.NewReader(data)
+		br := bufio.NewReader(sr)
+		buf := make([]byte, 0, len(data))
+		allocs := testing.AllocsPerRun(1000, func() {
+			sr.Reset(data)
+			br.Reset(sr)
+			line, err := readFrame(br, buf)
+			if err != nil || len(line) == 0 {
+				t.Fatalf("frame: %q, %v", line, err)
+			}
+			buf = line
+		})
+		if allocs != 0 {
+			t.Fatalf("warm readFrame allocates %.1f/op, want 0", allocs)
+		}
+	})
+
+	t.Run("latRing", func(t *testing.T) {
+		var l latRing
+		allocs := testing.AllocsPerRun(1000, func() {
+			l.recordAck(1.5)
+			l.recordWait(30)
+		})
+		if allocs != 0 {
+			t.Fatalf("latency recording allocates %.1f/op, want 0", allocs)
+		}
+	})
+}

@@ -14,7 +14,7 @@ const ClassComm = cluster.CommIntensive
 // Request is a client request. Op selects the operation; the other fields
 // are op-specific.
 type Request struct {
-	Op string `json:"op"` // submit, status, queue, running, info, stats, cancel, drain, resume, fail, shutdown
+	Op string `json:"op"` // submit, submit_batch, status, queue, running, info, stats, cancel, drain, resume, fail, shutdown
 
 	// submit fields
 	Nodes     int     `json:"nodes,omitempty"`
@@ -28,11 +28,44 @@ type Request struct {
 	// completes or is cancelled.
 	After int64 `json:"after,omitempty"`
 
+	// submit_batch field: the jobs to admit together. The whole batch is
+	// validated and enqueued in one engine wakeup and scheduled by a single
+	// scheduling pass, in slice (= submit-ID) order.
+	Batch []SubmitSpec `json:"batch,omitempty"`
+
 	// status / cancel field
 	ID int64 `json:"id,omitempty"`
 
 	// drain / resume / fail field: node name (e.g. "n17")
 	Node string `json:"node,omitempty"`
+}
+
+// SubmitSpec is one job submission: the submit fields of Request, reused
+// by the submit_batch op so a single frame can carry many jobs.
+type SubmitSpec struct {
+	Nodes     int     `json:"nodes"`
+	Runtime   float64 `json:"runtime"`
+	Class     string  `json:"class,omitempty"`
+	Pattern   string  `json:"pattern,omitempty"`
+	CommShare float64 `json:"commshare,omitempty"`
+	Name      string  `json:"name,omitempty"`
+	After     int64   `json:"after,omitempty"`
+}
+
+// Spec extracts the submit fields of a plain submit request.
+func (r *Request) Spec() SubmitSpec {
+	return SubmitSpec{
+		Nodes: r.Nodes, Runtime: r.Runtime, Class: r.Class,
+		Pattern: r.Pattern, CommShare: r.CommShare, Name: r.Name, After: r.After,
+	}
+}
+
+// BatchResult is the per-item outcome of a submit_batch op: the assigned
+// job ID, or the validation error that rejected the item. Rejections do
+// not abort the batch and consume no job ID.
+type BatchResult struct {
+	ID    int64  `json:"id,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // JobInfo describes one job in responses.
@@ -64,16 +97,40 @@ type LeafInfo struct {
 	Ratio  float64 `json:"ratio"` // Eq. 1 communication ratio
 }
 
+// BusyError is the error string of the typed retryable "busy" response a
+// connection returns when its bounded request queue is full. Clients
+// should back off exponentially and resend (Client.Do does).
+const BusyError = "busy: request queue full, retry with backoff"
+
+// LatencyStats is the stats op's latency section: percentiles over a
+// sliding window of recent samples. Wall figures are the wall-clock
+// milliseconds from frame receipt to engine ack of a submit; Wait figures
+// are the virtual seconds jobs spent queued before starting.
+type LatencyStats struct {
+	Acks      int64   `json:"acks"`
+	WallP50Ms float64 `json:"wall_p50_ms"`
+	WallP95Ms float64 `json:"wall_p95_ms"`
+	WallP99Ms float64 `json:"wall_p99_ms"`
+	Starts    int64   `json:"starts"`
+	WaitP50   float64 `json:"wait_p50,omitempty"`
+	WaitP95   float64 `json:"wait_p95,omitempty"`
+	WaitP99   float64 `json:"wait_p99,omitempty"`
+}
+
 // Response is the daemon's reply. Ok is false iff Error is set; the
 // payload fields are op-specific.
 type Response struct {
 	Ok    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Retryable marks a transient failure (backpressure, node races) the
+	// client may retry verbatim after a backoff.
+	Retryable bool `json:"retryable,omitempty"`
 
-	ID    int64      `json:"id,omitempty"`     // submit
-	Job   *JobInfo   `json:"job,omitempty"`    // status
-	Jobs  []JobInfo  `json:"jobs,omitempty"`   // queue, running
-	Leafs []LeafInfo `json:"leaves,omitempty"` // info
+	ID    int64         `json:"id,omitempty"`     // submit
+	Batch []BatchResult `json:"batch,omitempty"`  // submit_batch
+	Job   *JobInfo      `json:"job,omitempty"`    // status
+	Jobs  []JobInfo     `json:"jobs,omitempty"`   // queue, running
+	Leafs []LeafInfo    `json:"leaves,omitempty"` // info
 
 	// info fields
 	MachineNodes int     `json:"machine_nodes,omitempty"`
@@ -90,4 +147,7 @@ type Response struct {
 	AvgCommCost    float64 `json:"avg_comm_cost,omitempty"`
 	Requeues       int     `json:"requeues,omitempty"`
 	LostNodeHours  float64 `json:"lost_node_hours,omitempty"`
+
+	// Latency carries the submit-ack and queue-wait percentiles (stats).
+	Latency *LatencyStats `json:"latency,omitempty"`
 }

@@ -5,23 +5,44 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 )
 
-// Server exposes a Daemon over a JSON-lines TCP protocol.
+// DefaultQueueDepth is the per-connection bounded request queue: frames
+// arriving while this many ops are already pending get a typed retryable
+// busy response instead of queueing without bound.
+const DefaultQueueDepth = 128
+
+// Server exposes a Daemon over a JSON-lines TCP protocol. Each
+// connection is a three-stage pipeline (reader → engine dispatcher →
+// writer) so a client may stream many requests without waiting for acks;
+// the engine drains all pending ops per wakeup and amortises one
+// scheduling pass over each drained batch. Responses are written in
+// request order through a buffered writer (coalesced syscalls).
 type Server struct {
-	d  *Daemon
-	ln net.Listener
+	d     *Daemon
+	ln    net.Listener
+	depth int
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*serverConn
 	closed bool
 }
 
 // NewServer wraps a daemon for network serving.
 func NewServer(d *Daemon) *Server {
-	return &Server{d: d, conns: make(map[net.Conn]struct{})}
+	return &Server{d: d, depth: DefaultQueueDepth, conns: make(map[net.Conn]*serverConn)}
+}
+
+// SetQueueDepth overrides the per-connection bounded queue depth (the
+// backpressure threshold). Call before Serve.
+func (s *Server) SetQueueDepth(n int) {
+	if n > 0 {
+		s.depth = n
+	}
 }
 
 // Listen starts listening on addr (e.g. "127.0.0.1:0") without serving yet.
@@ -42,9 +63,9 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Serve accepts connections until Close. Each connection handles requests
-// sequentially; connections are concurrent with each other (the daemon's
-// engine goroutine serialises state access).
+// Serve accepts connections until Close. Connections are concurrent with
+// each other; within a connection requests are pipelined but responses
+// stay in request order.
 func (s *Server) Serve() error {
 	if s.ln == nil {
 		return fmt.Errorf("daemon: Serve before Listen")
@@ -60,19 +81,22 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
+		c := newServerConn(s, conn)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = c
 		s.mu.Unlock()
-		go s.handle(conn)
+		go c.run()
 	}
 }
 
-// Close stops the listener, all connections, and the daemon engine.
+// Close stops the listener, drains in-flight responses on every
+// connection (bounded wait), closes the connections, and stops the
+// daemon engine. Safe to call concurrently and repeatedly.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -80,87 +104,281 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
+	conns := make([]*serverConn, 0, len(s.conns))
+	for _, c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	// Unblock every reader without tearing the connection down: accepted
+	// requests still execute, and their responses still flush, before the
+	// write side goes away. This is what makes shutdown drain in-flight
+	// work instead of racing it (the old handler closed peer connections
+	// from a goroutine mid-response).
 	for _, c := range conns {
-		c.Close()
+		c.stopRead()
+	}
+	deadline := time.After(3 * time.Second)
+	for _, c := range conns {
+		select {
+		case <-c.done:
+		case <-deadline:
+		}
+	}
+	for _, c := range conns {
+		c.conn.Close()
 	}
 	s.d.Close()
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 4096), 1<<20)
-	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
-		line := scanner.Bytes()
+// serverConn is one connection's pipeline. A fixed ring of pendingOp
+// slots is threaded through three index channels: free → (reader) →
+// execQ → (dispatcher) → writeQ → (writer) → free. Slot indices, not
+// pointers, cross the channels; each stage owns a slot exclusively while
+// holding its index, so no slot is accessed concurrently. Channel
+// capacities equal the slot count, so only the reader's free-slot take
+// ever blocks (natural flow control when a client outruns its reads).
+type serverConn struct {
+	s    *Server
+	conn net.Conn
+
+	depth  int
+	slots  []pendingOp
+	free   chan int
+	execQ  chan int
+	writeQ chan int
+
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	encErr error
+
+	done chan struct{}
+}
+
+func newServerConn(s *Server, conn net.Conn) *serverConn {
+	n := 2 * s.depth
+	c := &serverConn{
+		s:      s,
+		conn:   conn,
+		depth:  s.depth,
+		slots:  make([]pendingOp, n),
+		free:   make(chan int, n),
+		execQ:  make(chan int, n),
+		writeQ: make(chan int, n),
+		done:   make(chan struct{}),
+	}
+	c.bw = bufio.NewWriter(conn)
+	c.enc = json.NewEncoder(c.bw)
+	for i := 0; i < n; i++ {
+		c.free <- i
+	}
+	return c
+}
+
+// run drives the pipeline: dispatcher and writer in their own
+// goroutines, the reader inline. Stage teardown cascades through channel
+// closes (reader closes execQ, dispatcher closes writeQ, writer signals
+// done), so by the time run returns every accepted request has been
+// answered or the connection is dead.
+func (c *serverConn) run() {
+	go c.dispatch()
+	go c.write()
+	c.read()
+	<-c.done
+	c.s.mu.Lock()
+	delete(c.s.conns, c.conn)
+	c.s.mu.Unlock()
+	c.conn.Close()
+}
+
+// stopRead unblocks the reader without closing the write side.
+func (c *serverConn) stopRead() {
+	if tc, ok := c.conn.(*net.TCPConn); ok {
+		tc.CloseRead()
+		return
+	}
+	c.conn.SetReadDeadline(time.Now())
+}
+
+// read decodes frames into pipeline slots until the connection's read
+// side ends. Malformed frames and backpressure rejections become
+// prefilled pass ops so their responses keep arrival order.
+func (c *serverConn) read() {
+	defer close(c.execQ)
+	br := bufio.NewReader(c.conn)
+	var buf []byte
+	for {
+		line, err := readFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = line
 		if len(line) == 0 {
 			continue
 		}
-		var req Request
-		var resp Response
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp = Response{Error: "malformed request: " + err.Error()}
-		} else {
-			resp = s.dispatch(req)
+		idx := <-c.free
+		op := &c.slots[idx]
+		*op = pendingOp{recv: c.s.d.clock()}
+		if uerr := json.Unmarshal(line, &op.req); uerr != nil {
+			op.pass = true
+			op.resp = Response{Error: "malformed request: " + uerr.Error()}
+		} else if len(c.execQ) >= c.depth {
+			op.pass = true
+			op.resp = Response{Error: BusyError, Retryable: true}
 		}
-		if err := enc.Encode(resp); err != nil {
+		c.execQ <- idx
+	}
+}
+
+// dispatch drains every op pending on execQ into one engine batch — the
+// amortisation point: a burst of N pipelined submits costs one
+// scheduling pass — then forwards the indices to the writer in order.
+func (c *serverConn) dispatch() {
+	defer close(c.writeQ)
+	idxs := make([]int, 0, len(c.slots))
+	batch := make([]*pendingOp, 0, len(c.slots))
+	for {
+		idx, ok := <-c.execQ
+		if !ok {
 			return
 		}
-		if req.Op == "shutdown" && resp.Ok {
-			go s.Close()
-			return
+		idxs, batch = idxs[:0], batch[:0]
+		idxs = append(idxs, idx)
+		for draining := true; draining; {
+			select {
+			case more, ok2 := <-c.execQ:
+				if !ok2 {
+					draining = false
+					break
+				}
+				idxs = append(idxs, more)
+			default:
+				draining = false
+			}
+		}
+		for _, i := range idxs {
+			batch = append(batch, &c.slots[i])
+		}
+		c.s.d.execBatch(batch)
+		for _, i := range idxs {
+			c.writeQ <- i
 		}
 	}
 }
 
-func (s *Server) dispatch(req Request) Response {
-	switch req.Op {
-	case "submit":
-		return s.d.Submit(req)
-	case "status":
-		return s.d.Status(req.ID)
-	case "cancel":
-		return s.d.Cancel(req.ID)
-	case "queue":
-		return s.d.Queue()
-	case "running":
-		return s.d.Running()
-	case "info":
-		return s.d.Info()
-	case "stats":
-		return s.d.Stats()
-	case "drain":
-		return s.d.Drain(req.Node)
-	case "resume":
-		return s.d.Resume(req.Node)
-	case "fail":
-		return s.d.Fail(req.Node)
-	case "shutdown":
-		return Response{Ok: true}
-	default:
-		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+// write encodes responses in order through the buffered writer, flushing
+// only when writeQ goes idle (coalesced syscalls under pipelined load).
+func (c *serverConn) write() {
+	defer close(c.done)
+	open := true
+	for open {
+		idx, ok := <-c.writeQ
+		if !ok {
+			break
+		}
+		c.emit(idx)
+		for coalescing := true; coalescing; {
+			select {
+			case idx, ok = <-c.writeQ:
+				if !ok {
+					open, coalescing = false, false
+					break
+				}
+				c.emit(idx)
+			default:
+				coalescing = false
+			}
+		}
+		c.bw.Flush()
+	}
+	c.bw.Flush()
+}
+
+// emit writes one response and recycles its slot. After an encode error
+// the connection is poisoned (unblocking the reader) but slots keep
+// recycling so the pipeline drains instead of deadlocking. A successful
+// shutdown ack flushes first, then triggers the server-wide close — the
+// client has its response bytes before any connection is torn down.
+func (c *serverConn) emit(idx int) {
+	op := &c.slots[idx]
+	shutdown := op.req.Op == "shutdown" && op.resp.Ok && !op.pass
+	if c.encErr == nil {
+		if err := c.enc.Encode(&op.resp); err != nil {
+			c.encErr = err
+			c.conn.Close()
+		}
+	}
+	*op = pendingOp{}
+	c.free <- idx
+	if shutdown {
+		c.bw.Flush()
+		go c.s.Close()
 	}
 }
 
-// Client is a thin JSON-lines client for the daemon protocol.
+// readFrame reads one newline-terminated frame, reusing buf's storage
+// across calls (pass the previous return value back in). The returned
+// slice excludes the line terminator and stays valid until the next
+// call. Unlike bufio.Scanner there is no fixed frame-size ceiling: a
+// frame longer than the bufio.Reader's window accumulates by
+// self-append, so arbitrarily large listings survive and the steady
+// state allocates nothing once buf has grown to the connection's
+// largest frame.
+//
+//caws:noalloc
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if err == nil {
+			return trimEOL(buf), nil
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err == io.EOF && len(buf) > 0 {
+			// Final frame without a terminator still counts as a frame;
+			// the next call reports the EOF.
+			return trimEOL(buf), nil
+		}
+		return buf[:0], err
+	}
+}
+
+// trimEOL strips trailing newline/carriage-return bytes.
+func trimEOL(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// Retry/backoff defaults for Client.Do's handling of busy responses.
+const (
+	clientMaxRetries  = 8
+	clientBaseBackoff = time.Millisecond
+	clientMaxBackoff  = 200 * time.Millisecond
+)
+
+// Client is a JSON-lines client for the daemon protocol. Do is
+// synchronous (one request, one response); busy backpressure responses
+// are retried with exponential backoff before surfacing. For pipelined
+// streams use Pipe.
 type Client struct {
 	conn net.Conn
 	enc  *json.Encoder
-	sc   *bufio.Scanner
+	br   *bufio.Reader
+	rbuf []byte
 	mu   sync.Mutex
+
+	// MaxRetries caps Do's automatic retries of retryable busy
+	// responses; Backoff is the initial retry delay, doubled per attempt
+	// up to clientMaxBackoff. Adjust before first use.
+	MaxRetries int
+	Backoff    time.Duration
 }
 
 // Dial connects to a daemon.
@@ -169,35 +387,58 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 4096), 1<<20)
-	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+	return &Client{
+		conn:       conn,
+		enc:        json.NewEncoder(conn),
+		br:         bufio.NewReader(conn),
+		MaxRetries: clientMaxRetries,
+		Backoff:    clientBaseBackoff,
+	}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Do sends one request and reads its response.
+// Do sends one request and reads its response. Responses with no frame
+// limit: listings of any size are reassembled. Retryable busy responses
+// (queue backpressure) are resent after exponential backoff, up to
+// MaxRetries, before being returned as errors.
 func (c *Client) Do(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
-		return Response{}, err
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = clientBaseBackoff
 	}
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
+	for attempt := 0; ; attempt++ {
+		if err := c.enc.Encode(req); err != nil {
 			return Response{}, err
 		}
-		return Response{}, fmt.Errorf("daemon: connection closed")
+		line, err := readFrame(c.br, c.rbuf)
+		if err != nil {
+			if err == io.EOF {
+				return Response{}, fmt.Errorf("daemon: connection closed")
+			}
+			return Response{}, err
+		}
+		c.rbuf = line
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			return Response{}, err
+		}
+		if resp.Retryable && attempt < c.MaxRetries {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > clientMaxBackoff {
+				backoff = clientMaxBackoff
+			}
+			continue
+		}
+		if !resp.Ok && resp.Error != "" {
+			return resp, fmt.Errorf("daemon: %s", resp.Error)
+		}
+		return resp, nil
 	}
-	var resp Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-		return Response{}, err
-	}
-	if !resp.Ok && resp.Error != "" {
-		return resp, fmt.Errorf("daemon: %s", resp.Error)
-	}
-	return resp, nil
 }
 
 // Submit submits a job and returns its ID.
@@ -205,6 +446,16 @@ func (c *Client) Submit(req Request) (int64, error) {
 	req.Op = "submit"
 	resp, err := c.Do(req)
 	return resp.ID, err
+}
+
+// SubmitBatch submits many jobs in one frame; the daemon admits them in
+// order under a single scheduling pass and returns per-item results.
+func (c *Client) SubmitBatch(specs []SubmitSpec) ([]BatchResult, error) {
+	resp, err := c.Do(Request{Op: "submit_batch", Batch: specs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Batch, nil
 }
 
 // Status fetches one job's state.
@@ -263,8 +514,61 @@ func (c *Client) Fail(node string) (int64, error) {
 	return resp.ID, err
 }
 
-// Shutdown asks the daemon to stop.
+// Shutdown asks the daemon to stop. The server flushes the ack (and
+// every response ahead of it) before closing connections.
 func (c *Client) Shutdown() error {
 	_, err := c.Do(Request{Op: "shutdown"})
 	return err
+}
+
+// Pipe is a pipelined protocol connection: Send enqueues frames into a
+// buffered writer without waiting, Recv reads responses in request
+// order. One goroutine may Send while another Recvs — that is the whole
+// point — but each side is single-goroutine. Used by loadgen and the
+// pipelining tests; Client remains the simple synchronous surface.
+type Pipe struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	br   *bufio.Reader
+	rbuf []byte
+}
+
+// DialPipe opens a pipelined connection.
+func DialPipe(addr string) (*Pipe, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipe{conn: conn, br: bufio.NewReader(conn)}
+	p.bw = bufio.NewWriter(conn)
+	p.enc = json.NewEncoder(p.bw)
+	return p, nil
+}
+
+// Send buffers one request; call Flush to put buffered frames on the
+// wire.
+func (p *Pipe) Send(req Request) error { return p.enc.Encode(req) }
+
+// Flush writes buffered frames to the connection.
+func (p *Pipe) Flush() error { return p.bw.Flush() }
+
+// Recv reads the next response in request order.
+func (p *Pipe) Recv() (Response, error) {
+	line, err := readFrame(p.br, p.rbuf)
+	if err != nil {
+		return Response{}, err
+	}
+	p.rbuf = line
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// Close closes the connection (flushing buffered frames first).
+func (p *Pipe) Close() error {
+	p.bw.Flush()
+	return p.conn.Close()
 }
