@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check build vet lint lint-allow test race fuzz-smoke verify bench bench-smoke bench-compare coverage soak soak-smoke
+.PHONY: check build vet lint lint-allow test race fuzz-smoke verify bench bench-smoke bench-compare coverage soak soak-smoke quality-compare
 
 check: vet lint build race fuzz-smoke
 
@@ -33,13 +33,14 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzz runs of the native fuzz targets; CI smoke, not a soak. The
-# scheduled CI fuzz job runs the same five targets at FUZZTIME=5m.
+# scheduled CI fuzz job runs the same six targets at FUZZTIME=5m.
 fuzz-smoke:
 	$(GO) test ./internal/core -run FuzzAllocate -fuzz FuzzAllocate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run FuzzRunContinuous -fuzz FuzzRunContinuous -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run FuzzFaultTrace -fuzz FuzzFaultTrace -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run FuzzLayoutScale -fuzz FuzzLayoutScale -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/verify -run FuzzSubtreeAggregation -fuzz FuzzSubtreeAggregation -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/search -run FuzzAnnealMoves -fuzz FuzzAnnealMoves -fuzztime $(FUZZTIME)
 
 # Statement-coverage gate: fails when total coverage over ./internal/...
 # drops below the floor in scripts/coverage-floor.txt.
@@ -72,6 +73,12 @@ bench-smoke:
 # BENCHTIME=....
 bench-compare:
 	BENCHTIME=$(BENCHTIME) sh scripts/bench-compare.sh $(BENCH_OUT)
+
+# Placement-quality gate: run the deterministic anneal quality-vs-budget
+# sweep and fail if the budget-256 median Eq. 6 cost regresses >2% against
+# the committed scripts/quality-baseline.txt.
+quality-compare:
+	sh scripts/quality-compare.sh $(QUALITY_OUT)
 
 # Closed-loop serving soak: ~20s of pipelined Theta-shaped bursty load
 # against an in-process daemon, failing below the sustained ops/sec

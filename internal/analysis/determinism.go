@@ -17,6 +17,7 @@ var DefaultDeterminismScope = []string{
 	"repro/internal/costmodel",
 	"repro/internal/collective",
 	"repro/internal/faults",
+	"repro/internal/search",
 }
 
 // allowedRandConstructors are the math/rand package-level functions that

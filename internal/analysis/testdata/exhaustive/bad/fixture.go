@@ -8,9 +8,9 @@ import (
 	"repro/internal/core"
 )
 
-// PartialNoDefault misses four selectors and has no default at all.
+// PartialNoDefault misses five selectors and has no default at all.
 func PartialNoDefault(a core.Algorithm) string {
-	switch a { // want `switch over Algorithm misses Adaptive, Balanced, BalancedNoPow2, Greedy and has no default`
+	switch a { // want `switch over Algorithm misses Adaptive, Anneal, Balanced, BalancedNoPow2, Greedy and has no default`
 	case core.Default:
 		return "default"
 	}

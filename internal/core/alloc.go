@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/collective"
 	"repro/internal/costmodel"
+	"repro/internal/search"
 	"repro/internal/topology"
 )
 
@@ -67,6 +68,11 @@ const (
 	// BalancedNoPow2 is an ablation: balanced's leaf order without the
 	// power-of-two constraint.
 	BalancedNoPow2
+	// Anneal refines the adaptive placement with seeded simulated annealing
+	// over swap/shift moves (internal/search), spending an explicit
+	// evaluated-candidate budget per selection. Never worse than adaptive's
+	// placement for the same request; budget and seed come from Options.
+	Anneal
 )
 
 // Algorithms lists the four algorithms compared in the paper's evaluation.
@@ -85,6 +91,8 @@ func (a Algorithm) String() string {
 		return "adaptive"
 	case BalancedNoPow2:
 		return "balanced-nopow2"
+	case Anneal:
+		return "anneal"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", uint8(a))
 	}
@@ -103,13 +111,19 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return Adaptive, nil
 	case "balanced-nopow2", "nopow2":
 		return BalancedNoPow2, nil
+	case "anneal", "sa":
+		return Anneal, nil
 	default:
 		return 0, fmt.Errorf("core: unknown algorithm %q", s)
 	}
 }
 
-// New returns the Selector for an Algorithm.
-func New(a Algorithm) (Selector, error) {
+// New returns the Selector for an Algorithm with default Options.
+func New(a Algorithm) (Selector, error) { return NewWith(a, Options{}) }
+
+// NewWith returns the Selector for an Algorithm, threading per-selector
+// options (currently only the anneal selector's budget and seed).
+func NewWith(a Algorithm, o Options) (Selector, error) {
 	switch a {
 	case Default:
 		return defaultSelector{}, nil
@@ -121,6 +135,8 @@ func New(a Algorithm) (Selector, error) {
 		return adaptiveSelector{}, nil
 	case BalancedNoPow2:
 		return balancedSelector{pow2: false}, nil
+	case Anneal:
+		return annealSelector{cfg: search.Config{Budget: o.AnnealBudget, Seed: o.AnnealSeed}}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", uint8(a))
 	}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/search"
+)
+
+// Options carries selector tuning consumed by the algorithms that want
+// it; the zero value always means "the algorithm's defaults", so every
+// existing NewWith(a, Options{}) call site behaves exactly like New(a).
+type Options struct {
+	// AnnealBudget is the Anneal search budget in evaluated candidate
+	// moves: 0 means search.DefaultBudget, a negative budget disables
+	// the search (the adaptive seed passes through untouched — useful as
+	// the budget-0 row of quality sweeps and as a bit-identity check
+	// against Adaptive).
+	AnnealBudget int
+	// AnnealSeed is the base PRNG seed for Anneal (0 = search.DefaultSeed).
+	// It is mixed with each job's ID, so one seed yields independent but
+	// reproducible per-job streams.
+	AnnealSeed uint64
+}
+
+// annealSelector seeds from the adaptive selector and refines
+// communication-intensive placements with the seeded annealing search.
+// Compute-intensive requests pass through unchanged: adaptive
+// deliberately keeps the costlier candidate for those, and "improving"
+// them would fight that policy.
+type annealSelector struct {
+	cfg search.Config
+}
+
+func (s annealSelector) Name() string { return "anneal" }
+
+func (s annealSelector) Select(st *cluster.State, req Request) ([]int, error) {
+	seed, err := adaptiveSelector{}.Select(st, req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Class != cluster.CommIntensive || len(seed) < 2 {
+		return seed, nil
+	}
+	nodes, _, err := search.Improve(st, req.Job, req.Class, seed, req.Pattern, s.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: anneal: %w", err)
+	}
+	return nodes, nil
+}

@@ -36,8 +36,11 @@ func benchState(tb testing.TB) *cluster.State {
 // (reference SwitchFree recount + uncached cost loops) sub-benchmarks, the
 // speedup pair the committed BENCH_*.json tracks.
 func benchSelect(b *testing.B, a Algorithm) {
+	benchSelectWith(b, MustNew(a))
+}
+
+func benchSelectWith(b *testing.B, sel Selector) {
 	st := benchState(b)
-	sel := MustNew(a)
 	req := Request{Job: 1, Nodes: 512, Class: cluster.CommIntensive, Pattern: collective.RD}
 	for _, mode := range []struct {
 		name string
@@ -65,6 +68,21 @@ func BenchmarkSelectDefault(b *testing.B)  { benchSelect(b, Default) }
 func BenchmarkSelectGreedy(b *testing.B)   { benchSelect(b, Greedy) }
 func BenchmarkSelectBalanced(b *testing.B) { benchSelect(b, Balanced) }
 func BenchmarkSelectAdaptive(b *testing.B) { benchSelect(b, Adaptive) }
+
+// benchSelectAnneal measures the annealing selector at a given
+// evaluated-candidates budget, with the same opt/ref speedup pair as the
+// other selectors (the ref half runs the whole search against the
+// uncached reference counters — the engine reads CommShareSlow there).
+func benchSelectAnneal(b *testing.B, budget int) {
+	sel, err := NewWith(Anneal, Options{AnnealBudget: budget})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSelectWith(b, sel)
+}
+
+func BenchmarkSelectAnneal64(b *testing.B)  { benchSelectAnneal(b, 64) }
+func BenchmarkSelectAnneal256(b *testing.B) { benchSelectAnneal(b, 256) }
 
 // TestSelectAllocations pins the selector fast paths to a single heap
 // allocation per call — the returned node list. The leaf snapshot, sort,

@@ -42,6 +42,11 @@ type Config struct {
 	// Clock overrides the wall-clock source (tests inject deterministic
 	// clocks for the batching differential proofs); nil means time.Now.
 	Clock func() time.Time
+	// AnnealBudget/AnnealSeed tune the core.Anneal selector (0 = search
+	// defaults, negative budget = seed passthrough); ignored by the other
+	// algorithms.
+	AnnealBudget int
+	AnnealSeed   uint64
 }
 
 type jobState uint8
@@ -134,7 +139,9 @@ func New(cfg Config) (*Daemon, error) {
 		return nil, fmt.Errorf("daemon: negative time scale %v", cfg.TimeScale)
 	}
 	// The zero Algorithm value is core.Default, i.e. stock SLURM behaviour.
-	selector, err := core.New(cfg.Algorithm)
+	selector, err := core.NewWith(cfg.Algorithm, core.Options{
+		AnnealBudget: cfg.AnnealBudget, AnnealSeed: cfg.AnnealSeed,
+	})
 	if err != nil {
 		return nil, err
 	}

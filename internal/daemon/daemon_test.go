@@ -371,7 +371,10 @@ func TestDependencyAfter(t *testing.T) {
 	if !indep.Ok {
 		t.Fatal(indep.Error)
 	}
-	if st := d.Status(indep.ID); st.Job.State != "running" {
+	// "running" normally; "completed" when the scheduler outpaces this
+	// goroutine (1 s virtual runtime under race-detector slowdown) —
+	// either proves the dependant's hold didn't block it.
+	if st := d.Status(indep.ID); st.Job.State != "running" && st.Job.State != "completed" {
 		t.Fatalf("independent job blocked by a held dependant: %s", st.Job.State)
 	}
 	waitState(t, d, first.ID, "completed")

@@ -194,3 +194,42 @@ func TestFutureWorkQuick(t *testing.T) {
 		t.Error("format missing title")
 	}
 }
+
+func TestAnnealQualityQuick(t *testing.T) {
+	o := quickOpts()
+	o.Jobs = 80
+	res, err := AnnealQuality(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(AnnealBudgets) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(AnnealBudgets))
+	}
+	for i, row := range res.Rows {
+		if row.Budget != AnnealBudgets[i] {
+			t.Fatalf("row %d budget %d, want %d", i, row.Budget, AnnealBudgets[i])
+		}
+		if row.MedianCommCost <= 0 || row.ExecHours <= 0 {
+			t.Fatalf("row %d empty: %+v", i, row)
+		}
+	}
+	if issues := res.Check(); len(issues) != 0 {
+		t.Fatalf("check: %v", issues)
+	}
+	text := res.Format()
+	for _, want := range []string{"budget", "median_comm_cost", "1024"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("format missing %q:\n%s", want, text)
+		}
+	}
+	// Determinism: the gate depends on repeat runs agreeing exactly.
+	again, err := AnnealQuality(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if again.Rows[i] != res.Rows[i] {
+			t.Fatalf("row %d differs across runs: %+v vs %+v", i, again.Rows[i], res.Rows[i])
+		}
+	}
+}

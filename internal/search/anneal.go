@@ -1,0 +1,192 @@
+package search
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+)
+
+// Budget and seed defaults, shared by every layer that plumbs a Config
+// (core.NewWith, sim.Config, sweep.Grid, the daemon and the CLIs all
+// treat a zero budget/seed as "use the default").
+const (
+	// DefaultBudget is the evaluated-candidates budget when a Config
+	// leaves Budget zero: enough for the quality plateau the
+	// EXPERIMENTS.md budget sweep shows, cheap enough for the CI gate.
+	DefaultBudget = 256
+	// DefaultSeed is the PRNG seed when a Config leaves Seed zero.
+	DefaultSeed = 1
+)
+
+// Config parameterises the annealing search.
+type Config struct {
+	// Budget is the number of evaluated candidate moves. Zero means
+	// DefaultBudget; a negative budget disables the search entirely (the
+	// seed placement passes through untouched — the degenerate selector
+	// that must be bit-identical to adaptive).
+	Budget int
+	// Seed is the base PRNG seed. It is mixed with the job ID so every
+	// job gets an independent deterministic stream; zero means
+	// DefaultSeed.
+	Seed uint64
+}
+
+// withDefaults resolves the zero-value conventions.
+func (c Config) withDefaults() Config {
+	if c.Budget == 0 {
+		c.Budget = DefaultBudget
+	}
+	if c.Budget < 0 {
+		c.Budget = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// Stats reports what one Improve call did.
+type Stats struct {
+	// SeedCost and BestCost are Eq. 6 for the seed placement and the
+	// returned placement; BestCost <= SeedCost always (the search keeps
+	// the best-so-far, so it can never return something worse than its
+	// seed). Both are zero when the search was skipped (budget <= 0,
+	// single-node job, or compute-intensive class).
+	SeedCost float64
+	BestCost float64
+	// Evaluated counts priced moves (the budget actually spent);
+	// Accepted counts the moves the Metropolis rule kept.
+	Evaluated int
+	Accepted  int
+}
+
+// prng is a splitmix64 generator — the explicit, seedable stream the
+// determinism lint demands in place of the global math/rand source.
+type prng struct{ state uint64 }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). The modulo bias is irrelevant here —
+// the stream only drives move proposals — and keeping the reduction
+// trivial keeps replays obvious.
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+// unit returns a float in (0, 1) — strictly positive so math.Log is
+// always finite in the acceptance rule.
+func (p *prng) unit() float64 { return (float64(p.next()>>11) + 0.5) / (1 << 53) }
+
+// jobSeed mixes the base seed with the job ID so concurrent sweeps and
+// repeated runs see identical per-job streams whatever order jobs are
+// priced in.
+func jobSeed(base uint64, job cluster.JobID) uint64 {
+	z := base ^ (uint64(job)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	return z ^ (z >> 31)
+}
+
+// Temperature schedule: the initial temperature is a fraction of the seed
+// cost (deltas scale with the cost magnitude), decayed geometrically so
+// the final temperature is endTempFrac of the initial one after exactly
+// Budget moves — a fixed, seed-independent schedule shape.
+const (
+	startTempFrac = 0.05
+	endTempFrac   = 1e-3
+)
+
+// Improve refines a seed placement for (job, class, pattern) by seeded
+// simulated annealing over swap and shift moves, pricing every move
+// through the delta Engine. It never mutates st and never returns a
+// placement costlier than the seed: the best-so-far assignment is
+// tracked separately from the annealing walk. The returned list is
+// always a fresh slice in rank order.
+func Improve(st *cluster.State, job cluster.JobID, class cluster.Class,
+	seed []int, p collective.Pattern, cfg Config) ([]int, Stats, error) {
+	cfg = cfg.withDefaults()
+	out := append([]int(nil), seed...)
+	if cfg.Budget <= 0 || len(seed) < 2 || class != cluster.CommIntensive {
+		return out, Stats{}, nil
+	}
+	e, err := NewEngine(st, job, class, seed, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	rng := prng{state: jobSeed(cfg.Seed, job)}
+	rng.next() // warm the mixed state
+
+	// Free nodes outside the candidate, in ascending id order. An
+	// accepted shift exchanges the displaced node into the vacated slot,
+	// so the list stays an exact complement of the candidate set.
+	var free []int
+	for id := 0; id < st.Topology().NumNodes(); id++ {
+		if st.NodeFree(id) && !e.Contains(id) {
+			free = append(free, id)
+		}
+	}
+
+	stats := Stats{SeedCost: e.Cost(), BestCost: e.Cost()}
+	cur := stats.SeedCost
+	best := cur
+	temp := startTempFrac * cur
+	cool := math.Exp(math.Log(endTempFrac) / float64(cfg.Budget))
+	ranks := e.Len()
+
+	accept := func(delta float64) bool {
+		if delta <= 0 {
+			return true
+		}
+		if temp <= 0 {
+			return false
+		}
+		return -temp*math.Log(rng.unit()) > delta
+	}
+	for i := 0; i < cfg.Budget; i++ {
+		// Shifts and swaps alternate on a fair coin; with no free nodes
+		// the shift arm is unavailable and every move is a swap.
+		if len(free) > 0 && rng.next()&1 == 0 {
+			r := rng.intn(ranks)
+			fi := rng.intn(len(free))
+			old := e.Node(r)
+			if err := e.Shift(r, free[fi]); err != nil {
+				return nil, Stats{}, err
+			}
+			stats.Evaluated++
+			if nc := e.Cost(); accept(nc - cur) {
+				cur = nc
+				free[fi] = old
+				stats.Accepted++
+				if cur < best {
+					best = cur
+					e.CopyNodes(out)
+				}
+			} else if err := e.Shift(r, old); err != nil {
+				return nil, Stats{}, err
+			}
+		} else {
+			r1, r2 := rng.intn(ranks), rng.intn(ranks)
+			if err := e.Swap(r1, r2); err != nil {
+				return nil, Stats{}, err
+			}
+			stats.Evaluated++
+			if nc := e.Cost(); accept(nc - cur) {
+				cur = nc
+				stats.Accepted++
+				if cur < best {
+					best = cur
+					e.CopyNodes(out)
+				}
+			} else if err := e.Swap(r1, r2); err != nil {
+				return nil, Stats{}, err
+			}
+		}
+		temp *= cool
+	}
+	stats.BestCost = best
+	return out, stats, nil
+}

@@ -1,0 +1,257 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/costmodel"
+	"repro/internal/topology"
+)
+
+// testState builds a three-level tree with uneven background load: some
+// leaves carry resident compute jobs, others a resident comm-intensive
+// job, so contention counters and shares are non-trivial.
+func testState(t testing.TB, nodesPerLeaf int, fanouts ...int) *cluster.State {
+	t.Helper()
+	topo, err := topology.Generate(topology.Spec{NodesPerLeaf: nodesPerLeaf, Fanouts: fanouts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cluster.New(topo)
+	var compute, comm []int
+	for l := 0; l < topo.NumLeaves(); l++ {
+		ids := topo.LeafNodes(l)
+		switch l % 3 {
+		case 0:
+			compute = append(compute, ids[0])
+		case 1:
+			comm = append(comm, ids[0], ids[1])
+		}
+	}
+	if len(compute) > 0 {
+		if err := st.Allocate(900001, cluster.ComputeIntensive, compute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(comm) > 0 {
+		if err := st.Allocate(900002, cluster.CommIntensive, comm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// freeNodes returns every free node id in ascending order.
+func freeNodes(st *cluster.State) []int {
+	var out []int
+	for id := 0; id < st.Topology().NumNodes(); id++ {
+		if st.NodeFree(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// spreadCandidate picks n free nodes striding across the machine so the
+// candidate touches many leaves.
+func spreadCandidate(t testing.TB, st *cluster.State, n int) []int {
+	t.Helper()
+	free := freeNodes(st)
+	if len(free) < n {
+		t.Fatalf("want %d free nodes, have %d", n, len(free))
+	}
+	stride := len(free) / n
+	if stride == 0 {
+		stride = 1
+	}
+	out := make([]int, 0, n)
+	for i := 0; len(out) < n; i += stride {
+		out = append(out, free[i%len(free)])
+	}
+	return out
+}
+
+// checkCost asserts the engine's incremental cost is bit-identical to a
+// from-scratch CandidateCost of its current node list.
+func checkCost(t *testing.T, e *Engine, st *cluster.State, job cluster.JobID,
+	class cluster.Class, p collective.Pattern, ctx string) {
+	t.Helper()
+	want, err := costmodel.CandidateCost(st, job, class, e.Nodes(), p)
+	if err != nil {
+		t.Fatalf("%s: CandidateCost: %v", ctx, err)
+	}
+	if got := e.Cost(); got != want {
+		t.Fatalf("%s: engine cost %v != CandidateCost %v (diff %g)", ctx, got, want, got-want)
+	}
+}
+
+// TestEngineMatchesCandidateCost drives random move sequences on several
+// patterns/classes and checks bit-identity after every single move,
+// including rejub-style revert pairs.
+func TestEngineMatchesCandidateCost(t *testing.T) {
+	st := testState(t, 8, 4, 3) // 12 leaves x 8 nodes
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		name    string
+		pattern collective.Pattern
+		class   cluster.Class
+		ranks   int
+	}{
+		{"rd-comm", collective.RD, cluster.CommIntensive, 16},
+		{"rhvd-comm", collective.RHVD, cluster.CommIntensive, 12},
+		{"binomial-comm", collective.Binomial, cluster.CommIntensive, 13},
+		{"ring-comm", collective.Ring, cluster.CommIntensive, 9},
+		{"rd-compute", collective.RD, cluster.ComputeIntensive, 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			job := cluster.JobID(5000)
+			cand := spreadCandidate(t, st, tc.ranks)
+			e, err := NewEngine(st, job, tc.class, cand, tc.pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkCost(t, e, st, job, tc.class, tc.pattern, "init")
+			for i := 0; i < 120; i++ {
+				if rng.Intn(2) == 0 {
+					r1, r2 := rng.Intn(tc.ranks), rng.Intn(tc.ranks)
+					if err := e.Swap(r1, r2); err != nil {
+						t.Fatalf("swap %d: %v", i, err)
+					}
+					checkCost(t, e, st, job, tc.class, tc.pattern, "after swap")
+					if rng.Intn(3) == 0 { // revert and re-check
+						if err := e.Swap(r1, r2); err != nil {
+							t.Fatal(err)
+						}
+						checkCost(t, e, st, job, tc.class, tc.pattern, "after swap revert")
+					}
+				} else {
+					var outside []int
+					for _, id := range freeNodes(st) {
+						if !e.Contains(id) {
+							outside = append(outside, id)
+						}
+					}
+					if len(outside) == 0 {
+						continue
+					}
+					r := rng.Intn(tc.ranks)
+					old := e.Node(r)
+					target := outside[rng.Intn(len(outside))]
+					if err := e.Shift(r, target); err != nil {
+						t.Fatalf("shift %d: %v", i, err)
+					}
+					checkCost(t, e, st, job, tc.class, tc.pattern, "after shift")
+					if rng.Intn(3) == 0 {
+						if err := e.Shift(r, old); err != nil {
+							t.Fatal(err)
+						}
+						checkCost(t, e, st, job, tc.class, tc.pattern, "after shift revert")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineRevertRestoresBits checks swap/shift are exact inverses: cost
+// and assignment come back bit-for-bit.
+func TestEngineRevertRestoresBits(t *testing.T) {
+	st := testState(t, 8, 6)
+	job := cluster.JobID(5001)
+	cand := spreadCandidate(t, st, 10)
+	e, err := NewEngine(st, job, cluster.CommIntensive, cand, collective.RD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Cost()
+	nodesBefore := e.Nodes()
+
+	if err := e.Swap(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Swap(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	var outside int = -1
+	for _, id := range freeNodes(st) {
+		if !e.Contains(id) {
+			outside = id
+			break
+		}
+	}
+	if outside < 0 {
+		t.Fatal("no free node outside candidate")
+	}
+	old := e.Node(3)
+	if err := e.Shift(3, outside); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Shift(3, old); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Cost(); got != before {
+		t.Fatalf("cost after revert %v != %v", got, before)
+	}
+	for r, id := range e.Nodes() {
+		if id != nodesBefore[r] {
+			t.Fatalf("rank %d node %d != %d after revert", r, id, nodesBefore[r])
+		}
+	}
+}
+
+// TestEngineRejectsInvalidMoves pins the defensive checks.
+func TestEngineRejectsInvalidMoves(t *testing.T) {
+	st := testState(t, 8, 4)
+	cand := spreadCandidate(t, st, 4)
+	e, err := NewEngine(st, 5002, cluster.CommIntensive, cand, collective.RD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Shift(0, cand[1]); err == nil {
+		t.Error("shift onto a candidate node should fail")
+	}
+	if err := e.Shift(99, 0); err == nil {
+		t.Error("shift of an out-of-range rank should fail")
+	}
+	if err := e.Shift(0, st.Topology().NumNodes()); err == nil {
+		t.Error("shift to an out-of-range node should fail")
+	}
+	if err := e.Swap(0, 99); err == nil {
+		t.Error("swap with an out-of-range rank should fail")
+	}
+	var busy int = -1
+	for id := 0; id < st.Topology().NumNodes(); id++ {
+		if !st.NodeFree(id) {
+			busy = id
+			break
+		}
+	}
+	if busy >= 0 {
+		if err := e.Shift(0, busy); err == nil {
+			t.Error("shift onto a busy node should fail")
+		}
+	}
+}
+
+// TestNewEngineRejectsBadCandidates mirrors CandidateCost's validation.
+func TestNewEngineRejectsBadCandidates(t *testing.T) {
+	st := testState(t, 8, 4)
+	free := freeNodes(st)
+	if _, err := NewEngine(st, 1, cluster.CommIntensive, nil, collective.RD); err == nil {
+		t.Error("empty candidate should fail")
+	}
+	if _, err := NewEngine(st, -1, cluster.CommIntensive, free[:2], collective.RD); err == nil {
+		t.Error("negative job should fail")
+	}
+	if _, err := NewEngine(st, 1, cluster.CommIntensive, []int{free[0], free[0]}, collective.RD); err == nil {
+		t.Error("duplicate node should fail")
+	}
+	if _, err := NewEngine(st, 900001, cluster.CommIntensive, free[:2], collective.RD); err == nil {
+		t.Error("already-allocated job should fail")
+	}
+	if _, err := NewEngine(st, 1, cluster.CommIntensive, []int{-3}, collective.RD); err == nil {
+		t.Error("out-of-range node should fail")
+	}
+}

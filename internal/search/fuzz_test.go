@@ -1,0 +1,132 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/costmodel"
+	"repro/internal/topology"
+)
+
+// FuzzAnnealMoves drives fuzzer-chosen move sequences and budgets against
+// the anneal-vs-reference invariants: after every applied move the
+// engine's incremental cost must be bit-identical to a from-scratch
+// CandidateCost of its current node list, and an Improve run over the
+// same state must never return a placement costlier than its seed.
+//
+// The input bytes encode, in order: topology shape, background load,
+// candidate width, pattern, a per-job PRNG seed, and then one move per
+// remaining byte pair (kind + operands derived by modulus, so every byte
+// string is a valid program).
+func FuzzAnnealMoves(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint8(3), uint8(12), uint8(0), uint16(64), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(uint8(4), uint8(6), uint8(1), uint8(9), uint8(1), uint16(16), []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Add(uint8(2), uint8(3), uint8(2), uint8(5), uint8(3), uint16(1), []byte{255, 0, 128})
+	f.Fuzz(func(t *testing.T, perLeaf, fan0, fan1, width, patByte uint8, budget uint16, moves []byte) {
+		npl := 1 + int(perLeaf)%8
+		f0 := 2 + int(fan0)%6
+		f1 := 1 + int(fan1)%4
+		topo, err := topology.Generate(topology.Spec{NodesPerLeaf: npl, Fanouts: []int{f0, f1}})
+		if err != nil {
+			t.Skip()
+		}
+		st := cluster.New(topo)
+		// Background load: every third leaf gets a resident compute node,
+		// every third (offset) a resident comm node, as capacity allows.
+		var compute, comm []int
+		for l := 0; l < topo.NumLeaves(); l++ {
+			ids := topo.LeafNodes(l)
+			if l%3 == 0 {
+				compute = append(compute, ids[0])
+			} else if l%3 == 1 && len(ids) > 1 {
+				comm = append(comm, ids[1])
+			}
+		}
+		if len(compute) > 0 {
+			if err := st.Allocate(800001, cluster.ComputeIntensive, compute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(comm) > 0 {
+			if err := st.Allocate(800002, cluster.CommIntensive, comm); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var free []int
+		for id := 0; id < topo.NumNodes(); id++ {
+			if st.NodeFree(id) {
+				free = append(free, id)
+			}
+		}
+		ranks := 2 + int(width)%15
+		if len(free) < ranks+1 {
+			t.Skip()
+		}
+		stride := len(free) / ranks
+		cand := make([]int, 0, ranks)
+		for i := 0; len(cand) < ranks; i += stride {
+			cand = append(cand, free[i%len(free)])
+		}
+		patterns := []collective.Pattern{collective.RD, collective.RHVD, collective.Binomial, collective.Ring}
+		pat := patterns[int(patByte)%len(patterns)]
+		job := cluster.JobID(7000)
+
+		// Invariant 1: every move prices identically to from-scratch.
+		e, err := NewEngine(st, job, cluster.CommIntensive, cand, pat)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		check := func(ctx string) {
+			want, err := costmodel.CandidateCost(st, job, cluster.CommIntensive, e.Nodes(), pat)
+			if err != nil {
+				t.Fatalf("%s: CandidateCost: %v", ctx, err)
+			}
+			if got := e.Cost(); got != want {
+				t.Fatalf("%s: engine %v != from-scratch %v", ctx, got, want)
+			}
+		}
+		check("init")
+		outside := free[:0:0]
+		for _, id := range free {
+			if !e.Contains(id) {
+				outside = append(outside, id)
+			}
+		}
+		for i := 0; i+1 < len(moves); i += 2 {
+			a, b := int(moves[i]), int(moves[i+1])
+			if a%2 == 0 || len(outside) == 0 {
+				if err := e.Swap(a/2%ranks, b%ranks); err != nil {
+					t.Fatalf("swap: %v", err)
+				}
+			} else {
+				r := a / 2 % ranks
+				fi := b % len(outside)
+				old := e.Node(r)
+				if err := e.Shift(r, outside[fi]); err != nil {
+					t.Fatalf("shift: %v", err)
+				}
+				outside[fi] = old
+			}
+			check("after move")
+		}
+
+		// Invariant 2: Improve never returns worse than its seed.
+		seedCost, err := costmodel.CandidateCost(st, job, cluster.CommIntensive, cand, pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Improve(st, job, cluster.CommIntensive, cand, pat,
+			Config{Budget: int(budget % 512), Seed: uint64(patByte) + 1})
+		if err != nil {
+			t.Fatalf("Improve: %v", err)
+		}
+		bestCost, err := costmodel.CandidateCost(st, job, cluster.CommIntensive, got, pat)
+		if err != nil {
+			t.Fatalf("Improve returned an invalid placement: %v", err)
+		}
+		if bestCost > seedCost {
+			t.Fatalf("Improve returned %v, worse than seed %v", bestCost, seedCost)
+		}
+	})
+}

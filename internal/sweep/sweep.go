@@ -37,6 +37,10 @@ type Grid struct {
 	CostMode      costmodel.Mode
 	Policy        sim.Policy
 	Parallelism   int
+	// AnnealBudget/AnnealSeed tune core.Anneal cells (same zero-value
+	// conventions as sim.Config); ignored by the other algorithms.
+	AnnealBudget int
+	AnnealSeed   uint64
 }
 
 func (g Grid) withDefaults() Grid {
@@ -151,6 +155,7 @@ func Run(g Grid) ([]Point, error) {
 			res, err = sim.RunContinuousValidated(sim.Config{
 				Topology: c.topo, Algorithm: c.alg,
 				CostMode: g.CostMode, Policy: g.Policy,
+				AnnealBudget: g.AnnealBudget, AnnealSeed: g.AnnealSeed,
 			}, tagged)
 		}
 		if err != nil {

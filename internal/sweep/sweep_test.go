@@ -145,6 +145,52 @@ func TestRunGridParallelismByteIdentical(t *testing.T) {
 	}
 }
 
+// annealGrid is smallGrid with annealing cells: the anneal selector's
+// seeded PRNG must keep the whole sweep deterministic.
+func annealGrid() Grid {
+	g := smallGrid()
+	g.Patterns = []collective.Pattern{collective.RD}
+	g.Algorithms = []core.Algorithm{core.Default, core.Adaptive, core.Anneal}
+	g.AnnealBudget = 64
+	g.AnnealSeed = 3
+	g.Jobs = 60
+	return g
+}
+
+// TestRunGridAnnealParallelismByteIdentical extends the sharding
+// determinism property to annealing cells: CSV from runs at parallelism
+// 1, 4 and NumCPU — and from a repeated run with the same seed — must be
+// byte-identical. The anneal selector threads its PRNG explicitly and
+// mixes in the job ID, so neither worker count nor scheduling order may
+// leak into its placements.
+func TestRunGridAnnealParallelismByteIdentical(t *testing.T) {
+	parallelisms := []int{1, 4, runtime.NumCPU(), 1} // trailing 1: repeat of the first run
+	var outputs []string
+	for _, parallel := range parallelisms {
+		g := annealGrid()
+		g.Parallelism = parallel
+		points, err := Run(g)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallel, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, points); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Fatalf("CSV differs between run 0 (parallelism 1) and run %d (parallelism %d):\n%s\nvs\n%s",
+				i, parallelisms[i], outputs[0], outputs[i])
+		}
+	}
+	// The anneal rows must actually be present (not silently dropped).
+	if !strings.Contains(outputs[0], ",anneal,") {
+		t.Fatalf("no anneal rows in sweep CSV:\n%s", outputs[0])
+	}
+}
+
 // TestRunGridDeterministicFirstFailure pins the failure contract: with
 // several failing cells in flight, Run reports the lowest-indexed failing
 // cell — the same failure the sequential loop would hit first — at every

@@ -25,6 +25,13 @@ type RunConfig struct {
 	// trace itself is a function of the spec, so the flag is all a cell
 	// needs to carry).
 	Faults bool
+	// AnnealBudget tunes core.Anneal cells with sim.Config's conventions:
+	// 0 means the search default (256 evaluated candidates), negative
+	// disables the search so the cell is a seed passthrough — bit-identical
+	// to core.Adaptive, a property checkAnnealPassthroughIdentity audits.
+	// The anneal PRNG seed is left at its fixed default so every cell stays
+	// a pure function of the spec. Ignored by the other algorithms.
+	AnnealBudget int
 }
 
 // String renders the config as its reproducer form.
@@ -39,6 +46,9 @@ func (c RunConfig) String() string {
 	if c.Faults {
 		s += " faults"
 	}
+	if c.AnnealBudget != 0 {
+		s += fmt.Sprintf(" anneal-budget=%d", c.AnnealBudget)
+	}
 	return s
 }
 
@@ -52,6 +62,7 @@ func (c RunConfig) SimConfig(topo *topology.Topology) sim.Config {
 		DisableBackfill: c.DisableBackfill,
 		Policy:          c.Policy,
 		RankRemap:       c.RankRemap,
+		AnnealBudget:    c.AnnealBudget,
 	}
 }
 
@@ -75,7 +86,7 @@ var (
 // AllConfigs returns the full differential matrix: every algorithm × cost
 // mode × backfill setting × queue policy, plus rank-remapping variants
 // (remap composes with any cell; two representatives keep the matrix
-// bounded).
+// bounded) and the annealing cells.
 func AllConfigs() []RunConfig {
 	var out []RunConfig
 	for _, alg := range allAlgorithms {
@@ -92,7 +103,24 @@ func AllConfigs() []RunConfig {
 		RunConfig{Algorithm: core.Default, RankRemap: true},
 		RunConfig{Algorithm: core.Adaptive, RankRemap: true},
 	)
-	return out
+	return append(out, annealConfigs()...)
+}
+
+// annealConfigs is the annealing slice of the matrix. The anneal selector
+// is priced per evaluated candidate, so the full algorithm × mode ×
+// backfill × policy product would dominate the verifier's wall clock;
+// representatives cover each axis instead: the default budget, a cheap
+// budget crossed with the non-default policy / backfill / cost-mode axes,
+// and the negative-budget passthrough whose bit-identity to core.Adaptive
+// checkAnnealPassthroughIdentity asserts.
+func annealConfigs() []RunConfig {
+	return []RunConfig{
+		{Algorithm: core.Anneal},
+		{Algorithm: core.Anneal, AnnealBudget: 64, Policy: sim.SJF},
+		{Algorithm: core.Anneal, AnnealBudget: 64, DisableBackfill: true},
+		{Algorithm: core.Anneal, AnnealBudget: 64, CostMode: costmodel.ModeHopBytes},
+		{Algorithm: core.Anneal, AnnealBudget: -1},
+	}
 }
 
 // FaultConfigs returns the fault-trace cells of the matrix: representative
@@ -108,6 +136,7 @@ func FaultConfigs() []RunConfig {
 		{Algorithm: core.Adaptive, Policy: sim.WidestFirst, Faults: true},
 		{Algorithm: core.BalancedNoPow2, CostMode: costmodel.ModeDistanceOnly,
 			DisableBackfill: true, Faults: true},
+		{Algorithm: core.Anneal, AnnealBudget: 64, Faults: true},
 	}
 }
 
@@ -231,6 +260,42 @@ func DifferentialConfigsParallel(spec TraceSpec, configs []RunConfig, parallelis
 	}
 	if err := checkZeroFaultIdentity(spec, topo, trace, configs, results); err != nil {
 		return err
+	}
+	if err := checkAnnealPassthroughIdentity(spec, configs, results); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkAnnealPassthroughIdentity asserts the metamorphic property anchoring
+// the annealing selector: with a negative budget the search is disabled and
+// the selector returns its adaptive seed unchanged, so that cell must
+// reproduce the plain core.Adaptive cell bit for bit. Any drift means the
+// anneal path perturbs state (or pricing) even when it evaluates nothing.
+func checkAnnealPassthroughIdentity(spec TraceSpec, configs []RunConfig, results []*sim.Result) error {
+	adaptive, passthrough := -1, -1
+	for i := range configs {
+		switch configs[i] {
+		case (RunConfig{Algorithm: core.Adaptive}):
+			adaptive = i
+		case (RunConfig{Algorithm: core.Anneal, AnnealBudget: -1}):
+			passthrough = i
+		}
+	}
+	if adaptive < 0 || passthrough < 0 {
+		return nil
+	}
+	if results[adaptive].Summary != results[passthrough].Summary {
+		return &Failure{Spec: spec, Config: &configs[passthrough], Err: fmt.Errorf(
+			"disabled anneal diverges from adaptive: %+v vs %+v",
+			results[passthrough].Summary, results[adaptive].Summary)}
+	}
+	for k := range results[adaptive].Jobs {
+		a, b := results[adaptive].Jobs[k], results[passthrough].Jobs[k]
+		if a != b {
+			return &Failure{Spec: spec, Config: &configs[passthrough], Err: fmt.Errorf(
+				"disabled anneal diverges from adaptive: job %d %+v vs %+v", a.ID, b, a)}
+		}
 	}
 	return nil
 }

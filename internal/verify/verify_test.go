@@ -120,7 +120,7 @@ func TestGeneratorCoverage(t *testing.T) {
 
 func TestAllConfigsCoverMatrix(t *testing.T) {
 	configs := AllConfigs()
-	want := len(allAlgorithms)*len(allModes)*2*len(allPolicies) + 2
+	want := len(allAlgorithms)*len(allModes)*2*len(allPolicies) + 2 + len(annealConfigs())
 	if len(configs) != want {
 		t.Fatalf("matrix has %d cells, want %d", len(configs), want)
 	}

@@ -1,0 +1,63 @@
+#!/bin/sh
+# quality-compare: run the anneal quality-vs-budget sweep into a dated
+# QUALITY_<date>.txt and compare the budget-256 median effective-hops cost
+# against the committed baseline in scripts/quality-baseline.txt, failing
+# on a >2% regression. The sweep is deterministic (fixed trace seed, fixed
+# anneal seed), so the comparison is exact arithmetic, not a noise gate —
+# mirror of scripts/bench-compare.sh for placement quality instead of
+# speed.
+#
+# Usage: sh scripts/quality-compare.sh [output.txt]
+# Env:   QUALITY_JOBS (default 150) — jobs in the sweep's trace; must match
+#        the job count the committed baseline was generated with.
+set -eu
+
+GO=${GO:-go}
+QUALITY_JOBS=${QUALITY_JOBS:-150}
+BASELINE=scripts/quality-baseline.txt
+TOLERANCE_PCT=2
+
+out=${1:-}
+if [ -z "$out" ]; then
+    out="QUALITY_$(date +%F).txt"
+    # Never clobber a committed artifact from the same day: suffix a run
+    # counter so both the baseline and the new numbers survive review.
+    n=1
+    while git ls-files --error-unmatch "$out" >/dev/null 2>&1; do
+        out="QUALITY_$(date +%F).$n.txt"
+        n=$((n + 1))
+    done
+fi
+
+echo "quality-compare: running anneal quality sweep into $out ($QUALITY_JOBS jobs)"
+$GO run ./cmd/experiments -exp anneal -jobs "$QUALITY_JOBS" -machines Theta > "$out"
+cat "$out"
+
+# The quality number under the gate: median Eq. 6 cost at the default
+# budget (256), second column of the budget-256 row.
+current=$(awk '$1 == "256" { print $2; exit }' "$out")
+if [ -z "$current" ]; then
+    echo "quality-compare: no budget-256 row in $out" >&2
+    exit 2
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo "quality-compare: no committed baseline $BASELINE; wrote $out, nothing to compare"
+    exit 0
+fi
+baseline=$(awk '!/^#/ && NF { print $1; exit }' "$BASELINE")
+if [ -z "$baseline" ]; then
+    echo "quality-compare: $BASELINE holds no baseline value" >&2
+    exit 2
+fi
+
+echo "quality-compare: budget-256 median comm cost $current vs baseline $baseline (tolerance ${TOLERANCE_PCT}%)"
+awk -v cur="$current" -v base="$baseline" -v tol="$TOLERANCE_PCT" 'BEGIN {
+    limit = base * (1 + tol / 100)
+    if (cur > limit) {
+        printf "quality-compare: FAIL: %.4f exceeds %.4f (baseline %.4f +%s%%)\n", cur, limit, base, tol
+        exit 1
+    }
+    delta = (cur / base - 1) * 100
+    printf "quality-compare: OK: %+.2f%% vs baseline\n", delta
+}'
